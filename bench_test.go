@@ -1,0 +1,378 @@
+// Benchmarks B1–B7 of DESIGN.md §3: one benchmark family per complexity or
+// overhead claim the paper makes in prose. Absolute numbers depend on the
+// host; the shapes (linear/quadratic growth in n, constant producer cost,
+// fast-monitor speedups) are what EXPERIMENTS.md records.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/conslist"
+	"repro/internal/core"
+	"repro/internal/genlin"
+	"repro/internal/history"
+	"repro/internal/impls"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// segment is the history-window size used to keep whole-history verification
+// benchmarks in steady state: structures are rebuilt every segment ops.
+const segment = 64
+
+// ---------------------------------------------------------------------------
+// B6: snapshot implementations
+// ---------------------------------------------------------------------------
+
+func benchSnapshot(b *testing.B, mk func(n int) snapshot.Snapshot[int64], n int) {
+	s := mk(n)
+	var wg sync.WaitGroup
+	per := b.N/n + 1
+	b.ResetTimer()
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if i%4 == 0 {
+					s.Scan(p)
+				} else {
+					s.Update(p, int64(i))
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	impls := map[string]func(n int) snapshot.Snapshot[int64]{
+		"afek":  func(n int) snapshot.Snapshot[int64] { return snapshot.NewAfek[int64](n) },
+		"cas":   func(n int) snapshot.Snapshot[int64] { return snapshot.NewCAS[int64](n) },
+		"mutex": func(n int) snapshot.Snapshot[int64] { return snapshot.NewMutex[int64](n) },
+	}
+	for name, mk := range impls {
+		for _, n := range []int{2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/n=%d", name, n), func(b *testing.B) {
+				benchSnapshot(b, mk, n)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B1: DRV (A*) overhead vs the raw implementation
+// ---------------------------------------------------------------------------
+
+func BenchmarkDRVOverhead(b *testing.B) {
+	b.Run("raw-counter", func(b *testing.B) {
+		c := impls.NewAtomicCounter()
+		var uniq trace.UniqSource
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Apply(0, spec.Operation{Method: spec.MethodInc, Uniq: uniq.Next()})
+		}
+	})
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("drv-counter/n=%d", n), func(b *testing.B) {
+			drv := core.NewDRV(impls.NewAtomicCounter(), n)
+			var uniq trace.UniqSource
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				drv.Apply(0, spec.Operation{Method: spec.MethodInc, Uniq: uniq.Next()})
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B2: verifier iteration cost vs n (Claim 8.1)
+// ---------------------------------------------------------------------------
+
+func BenchmarkVerifierIteration(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("counter/n=%d", n), func(b *testing.B) {
+			var v *core.Verifier
+			var uniq trace.UniqSource
+			var gen *trace.OpGen
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%segment == 0 {
+					v = core.NewVerifier(core.NewDRV(impls.NewAtomicCounter(), n),
+						genlin.Linearizability(spec.Counter()))
+					gen = trace.NewOpGen("counter", int64(i), &uniq)
+				}
+				if _, _, rep := v.Do(0, gen.Next()); rep != nil {
+					b.Fatal("false error")
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B3: self-enforced overhead per object
+// ---------------------------------------------------------------------------
+
+func BenchmarkSelfEnforced(b *testing.B) {
+	models := []spec.Model{spec.Queue(), spec.Stack(), spec.Counter(), spec.Register(0)}
+	for _, m := range models {
+		b.Run("raw/"+m.Name(), func(b *testing.B) {
+			var impl core.Implementation
+			var uniq trace.UniqSource
+			var gen *trace.OpGen
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%segment == 0 {
+					impl = impls.ForModel(m)
+					gen = trace.NewOpGen(m.Name(), int64(i), &uniq)
+				}
+				impl.Apply(0, gen.Next())
+			}
+		})
+		b.Run("enforced/"+m.Name(), func(b *testing.B) {
+			var e *core.Enforced
+			var uniq trace.UniqSource
+			var gen *trace.OpGen
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%segment == 0 {
+					e = core.NewEnforced(impls.ForModel(m), 2, genlin.Linearizability(m), nil)
+					gen = trace.NewOpGen(m.Name(), int64(i), &uniq)
+				}
+				if _, rep := e.Apply(0, gen.Next()); rep != nil {
+					b.Fatal("false error")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSelfEnforcedParallel measures contended throughput: p goroutines
+// driving a self-enforced counter.
+func BenchmarkSelfEnforcedParallel(b *testing.B) {
+	for _, procs := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("counter/p=%d", procs), func(b *testing.B) {
+			e := core.NewEnforced(impls.NewAtomicCounter(), procs, genlin.Linearizability(spec.Counter()), nil)
+			var uniq trace.UniqSource
+			per := b.N/procs + 1
+			if per > 4*segment {
+				per = 4 * segment // keep whole-history checking in steady state
+			}
+			b.ResetTimer()
+			rounds := b.N/(per*procs) + 1
+			for r := 0; r < rounds; r++ {
+				e = core.NewEnforced(impls.NewAtomicCounter(), procs, genlin.Linearizability(spec.Counter()), nil)
+				var wg sync.WaitGroup
+				for p := 0; p < procs; p++ {
+					wg.Add(1)
+					go func(p int) {
+						defer wg.Done()
+						gen := trace.NewOpGen("counter", int64(p), &uniq)
+						for i := 0; i < per; i++ {
+							e.Apply(p, gen.Next())
+						}
+					}(p)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B4: decoupled producer cost (constant in history length)
+// ---------------------------------------------------------------------------
+
+func BenchmarkDecoupledProducer(b *testing.B) {
+	d := core.NewDecoupled(impls.NewAtomicCounter(), 2, 1,
+		genlin.Linearizability(spec.Counter()), func(core.Report) {})
+	defer d.Close()
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("counter", 1, &uniq)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Apply(0, gen.Next())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B5: §9.1 bounded representation — cons lists vs whole-set copies
+// ---------------------------------------------------------------------------
+
+func BenchmarkConsListVsCopy(b *testing.B) {
+	b.Run("conslist-announce", func(b *testing.B) {
+		b.ReportAllocs()
+		var head *conslist.Node[int]
+		for i := 0; i < b.N; i++ {
+			head = conslist.Push(head, i)
+			if head.Depth() > 1024 {
+				head = nil
+			}
+		}
+	})
+	b.Run("copied-set-announce", func(b *testing.B) {
+		b.ReportAllocs()
+		var set []int
+		for i := 0; i < b.N; i++ {
+			next := make([]int, len(set)+1) // a fresh copy per announce, as in the naive Figure 7 encoding
+			copy(next, set)
+			next[len(set)] = i
+			set = next
+			if len(set) > 1024 {
+				set = nil
+			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// B7: checker cost — complete search vs fast monitors, and X(τ) construction
+// ---------------------------------------------------------------------------
+
+func BenchmarkChecker(b *testing.B) {
+	sizes := []int{16, 64, 256}
+	for _, size := range sizes {
+		h := trace.RandomLinearizable(spec.Queue(), 7, 3, size)
+		b.Run(fmt.Sprintf("wg/queue/ops=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !check.IsLinearizable(spec.Queue(), h) {
+					b.Fatal("generated history must be linearizable")
+				}
+			}
+		})
+		mon := check.ForModel(spec.Queue())
+		b.Run(fmt.Sprintf("hybrid/queue/ops=%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if mon.Check(h) != check.Yes {
+					b.Fatal("generated history must be linearizable")
+				}
+			}
+		})
+	}
+	hc := trace.RandomLinearizable(spec.Counter(), 9, 3, 256)
+	b.Run("wg/counter/ops=256", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			check.IsLinearizable(spec.Counter(), hc)
+		}
+	})
+	b.Run("hybrid/counter/ops=256", func(b *testing.B) {
+		mon := check.ForModel(spec.Counter())
+		for i := 0; i < b.N; i++ {
+			if mon.Check(hc) != check.Yes {
+				b.Fatal("generated history must be linearizable")
+			}
+		}
+	})
+
+	// Violation path: a phantom dequeue forces the complete search to
+	// exhaust, while the No-detector refutes it by a necessary condition.
+	bad := trace.RandomLinearizable(spec.Queue(), 11, 3, 128)
+	bad = append(bad, history.Event{Kind: history.Invoke, Proc: 0, ID: 9999,
+		Op: spec.Operation{Method: spec.MethodDeq, Uniq: 9999}})
+	bad = append(bad, history.Event{Kind: history.Return, Proc: 0, ID: 9999,
+		Op: spec.Operation{Method: spec.MethodDeq, Uniq: 9999}, Res: spec.ValueResp(777777)})
+	b.Run("wg/queue-violation/ops=128", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if check.IsLinearizable(spec.Queue(), bad) {
+				b.Fatal("violation accepted")
+			}
+		}
+	})
+	b.Run("hybrid/queue-violation/ops=128", func(b *testing.B) {
+		mon := check.ForModel(spec.Queue())
+		for i := 0; i < b.N; i++ {
+			if mon.Check(bad) != check.No {
+				b.Fatal("violation accepted")
+			}
+		}
+	})
+}
+
+func BenchmarkXOfTau(b *testing.B) {
+	for _, ops := range []int{64, 256, 1024} {
+		b.Run(fmt.Sprintf("ops=%d", ops), func(b *testing.B) {
+			drv := core.NewDRV(impls.NewAtomicCounter(), 4)
+			var uniq trace.UniqSource
+			tuples := make([]core.Tuple, 0, ops)
+			for i := 0; i < ops; i++ {
+				op := spec.Operation{Method: spec.MethodInc, Uniq: uniq.Next()}
+				y, view := drv.Apply(i%4, op)
+				tuples = append(tuples, core.Tuple{Proc: i % 4, Op: op, Res: y, View: view})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BuildHistory(tuples, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFirstViolation measures the witness-localisation cost.
+func BenchmarkFirstViolation(b *testing.B) {
+	h := trace.RandomLinearizable(spec.Queue(), 3, 3, 64)
+	bad := trace.Mutate(h, 5)
+	if check.IsLinearizable(spec.Queue(), bad) {
+		// Find a mutation that actually breaks it.
+		for s := int64(6); check.IsLinearizable(spec.Queue(), bad); s++ {
+			bad = trace.Mutate(h, s)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if check.FirstViolation(spec.Queue(), bad) < 0 {
+			b.Fatal("expected violation")
+		}
+	}
+}
+
+// sanity for the facade: the benchmarks file lives in package repro, so make
+// sure the public API compiles against it.
+var _ = func() bool {
+	var _ Implementation = impls.NewMSQueue()
+	var _ History = history.History{}
+	return true
+}()
+
+// BenchmarkEnforcedSnapshotChoice is the substrate ablation: the self-
+// enforced counter over the three snapshot implementations (DESIGN.md B6:
+// read/write-only wait-free vs CAS vs lock-based).
+func BenchmarkEnforcedSnapshotChoice(b *testing.B) {
+	kinds := map[string]func() snapshot.Snapshot[*conslist.Node[core.Ann]]{
+		"afek": func() snapshot.Snapshot[*conslist.Node[core.Ann]] {
+			return snapshot.NewAfek[*conslist.Node[core.Ann]](2)
+		},
+		"cas": func() snapshot.Snapshot[*conslist.Node[core.Ann]] {
+			return snapshot.NewCAS[*conslist.Node[core.Ann]](2)
+		},
+		"mutex": func() snapshot.Snapshot[*conslist.Node[core.Ann]] {
+			return snapshot.NewMutex[*conslist.Node[core.Ann]](2)
+		},
+	}
+	for name, mk := range kinds {
+		b.Run(name, func(b *testing.B) {
+			var e *core.Enforced
+			var uniq trace.UniqSource
+			var gen *trace.OpGen
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if i%segment == 0 {
+					e = core.NewEnforced(impls.NewAtomicCounter(), 2,
+						genlin.Linearizability(spec.Counter()), []core.Option{core.WithSnapshot(mk())})
+					gen = trace.NewOpGen("counter", int64(i), &uniq)
+				}
+				if _, rep := e.Apply(0, gen.Next()); rep != nil {
+					b.Fatal("false error")
+				}
+			}
+		})
+	}
+}

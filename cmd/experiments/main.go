@@ -1,0 +1,49 @@
+// Command experiments regenerates every figure/theorem experiment of the
+// paper (DESIGN.md §3, E1–E13) and prints paper-claim vs measured-outcome
+// rows. With -run it executes a single experiment.
+//
+// Usage:
+//
+//	experiments            # run everything
+//	experiments -list      # list experiment names
+//	experiments -run fig4  # run one experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	run := flag.String("run", "", "run a single experiment by name")
+	list := flag.Bool("list", false, "list experiment names")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(exp.Names(), "\n"))
+		return
+	}
+
+	var rows []exp.Row
+	if *run != "" {
+		r, ok := exp.ByName(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		rows = r
+	} else {
+		rows = exp.All()
+	}
+
+	fmt.Print(exp.Format(rows))
+	if !exp.AllPass(rows) {
+		fmt.Fprintln(os.Stderr, "some experiments FAILED")
+		os.Exit(1)
+	}
+	fmt.Printf("all %d checks passed\n", len(rows))
+}

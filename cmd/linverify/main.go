@@ -1,0 +1,89 @@
+// Command linverify decides offline whether a recorded history is
+// linearizable with respect to one of the built-in sequential objects — the
+// predicate P_O of §3 as a standalone tool.
+//
+// The history is a JSON array of events read from a file or stdin:
+//
+//	[
+//	  {"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5},
+//	  {"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"},
+//	  {"kind":"inv","proc":2,"id":2,"op":"Deq"},
+//	  {"kind":"ret","proc":2,"id":2,"op":"Deq","res":"5"}
+//	]
+//
+// Usage:
+//
+//	linverify -model queue history.json
+//	cat history.json | linverify -model stack -witness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	model := flag.String("model", "queue", "sequential object: queue, stack, set, pqueue, counter, register, consensus")
+	witness := flag.Bool("witness", false, "print a linearization or the shortest violating prefix")
+	render := flag.Bool("render", false, "draw the history as per-process lanes")
+	flag.Parse()
+
+	m, ok := spec.ByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
+		return 2
+	}
+
+	var data []byte
+	var err error
+	if flag.NArg() >= 1 {
+		data, err = os.ReadFile(flag.Arg(0))
+	} else {
+		data, err = io.ReadAll(os.Stdin)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "reading history: %v\n", err)
+		return 2
+	}
+
+	h, err := history.DecodeJSON(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "invalid history: %v\n", err)
+		return 2
+	}
+	if *render {
+		fmt.Print(h.Render())
+	}
+
+	r := check.Linearizable(m, h)
+	if r.Ok {
+		fmt.Printf("linearizable with respect to %s (%d states explored)\n", m.Name(), r.Explored)
+		if *witness {
+			for i, l := range r.Linearization {
+				tag := ""
+				if l.Pending {
+					tag = "  (pending, response chosen)"
+				}
+				fmt.Printf("%3d. p%d %s : %s%s\n", i+1, l.Proc+1, l.Op, l.Res, tag)
+			}
+		}
+		return 0
+	}
+	fmt.Printf("NOT linearizable with respect to %s (%d states explored)\n", m.Name(), r.Explored)
+	if *witness {
+		k := check.FirstViolation(m, h)
+		fmt.Printf("shortest violating prefix: %d events\n", k)
+		fmt.Print(h[:k].Render())
+	}
+	return 1
+}

@@ -1,0 +1,51 @@
+// Forensics: a buggy stack (it occasionally pops values that were never
+// pushed) is wrapped into a self-enforced implementation. The wrapper
+// detects the violation at runtime and hands back a witness history — the
+// accountability and forensic guarantees of §8.3: the client can prove, with
+// the witness, that the stack implementation is broken.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/impls"
+	"repro/internal/trace"
+)
+
+func main() {
+	// The vendor's stack, which corrupts roughly one in four pops.
+	buggy := impls.NewFaulty(impls.NewTreiberStack(), impls.PhantomValue, 4, 42)
+
+	stack := repro.SelfEnforce(buggy, 1, repro.Stack())
+
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("stack", 7, &uniq)
+	for i := 0; i < 500; i++ {
+		op := gen.Next()
+		y, rep := stack.Apply(0, op)
+		if rep == nil {
+			fmt.Printf("%3d: %s = %s (verified)\n", i, op, y)
+			continue
+		}
+
+		// The response could not be verified: the report carries X(τ), a
+		// certified history of A* that is not linearizable. This is the
+		// forensic evidence of §8.3.
+		fmt.Printf("\n%3d: %s -> ERROR: the stack is not linearizable.\n", i, op)
+		fmt.Println("witness history (certified non-linearizable):")
+		fmt.Print(rep.Witness.Render())
+		fmt.Printf("witness is linearizable: %v  (accountability: the vendor cannot dispute this)\n",
+			repro.IsLinearizable(repro.Stack(), rep.Witness))
+
+		// From here on, every operation keeps returning ERROR (stability,
+		// Theorem 8.1(3)); a real client would fail over now.
+		if _, rep2 := stack.Apply(0, gen.Next()); rep2 == nil {
+			log.Fatal("stability violated: operation after ERROR succeeded")
+		}
+		fmt.Println("subsequent operations keep returning ERROR — failing over.")
+		return
+	}
+	log.Fatal("the injected fault was never triggered; increase the iteration count")
+}

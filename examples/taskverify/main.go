@@ -1,0 +1,59 @@
+// Task verification (§9.3 + §10): one-shot consensus verified through the
+// views mechanism. The same (input, output) pairs are accepted or rejected
+// depending on real-time participation — precisely the discrimination that
+// classical pair-based task checking cannot make (§10's solo-run example).
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"repro"
+	"repro/internal/impls"
+)
+
+// liar decides 99 regardless of inputs.
+type liar struct{}
+
+func (liar) Name() string { return "liar-consensus" }
+func (liar) Apply(_ int, op repro.Operation) repro.Response {
+	return repro.Response{Kind: 2 /* KindValue */, Val: 99}
+}
+
+func main() {
+	task := repro.ConsensusTask()
+
+	// Solo run deciding a non-input: the view of the operation contains only
+	// itself, so the sketch proves the process ran alone — deciding 99 with
+	// input 5 violates validity and is detected.
+	solo := repro.SelfEnforceObject(liar{}, 2, task)
+	_, rep := solo.Apply(0, repro.Operation{Method: "Decide", Arg: 5, Uniq: 1})
+	fmt.Printf("solo Decide(5) = 99: detected = %v\n", rep != nil)
+	if rep != nil {
+		fmt.Println("witness (a certified one-shot history violating the task):")
+		fmt.Print(rep.Witness.Render())
+	}
+
+	// Concurrent run through a correct CAS consensus: both processes decide
+	// the winner's input; the views show genuine overlap and the run passes.
+	conc := repro.SelfEnforceObject(repro.NewCASConsensus(), 2, task)
+	var wg sync.WaitGroup
+	results := make([]repro.Response, 2)
+	errors := make([]bool, 2)
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			op := repro.Operation{Method: "Decide", Arg: int64(5 + 94*p), Uniq: uint64(p + 1)}
+			y, rep := conc.Apply(p, op)
+			results[p] = y
+			errors[p] = rep != nil
+		}(p)
+	}
+	wg.Wait()
+	fmt.Printf("concurrent Decide(5), Decide(99): decisions = %s, %s; errors = %v, %v\n",
+		results[0], results[1], errors[0], errors[1])
+	fmt.Println("same (input,output) pairs can be valid or invalid — only the views tell.")
+
+	_ = impls.NewCASConsensus // keep the import explicit for readers
+}

@@ -1,0 +1,95 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// BruteForceLinearizable decides linearizability by exhaustive enumeration:
+// every subset of pending operations, every permutation of the chosen
+// operations, checked against the real-time order and the model. It is
+// correct by inspection and exponential — the reference oracle for property
+// tests of the optimised checker. Keep histories tiny (≤ ~8 operations).
+func BruteForceLinearizable(m spec.Model, h history.History) bool {
+	ops := h.Ops()
+	var complete, pending []history.Op
+	for _, o := range ops {
+		if o.Complete {
+			complete = append(complete, o)
+		} else {
+			pending = append(pending, o)
+		}
+	}
+	prec := h.PrecedenceLt()
+	// ≺ also constrains complete-before-pending pairs: if a complete op
+	// returned before a pending op was invoked, the order is fixed.
+	for _, a := range complete {
+		for _, b := range pending {
+			if a.RetIdx < b.InvIdx {
+				prec[history.Pair{Before: a.ID, After: b.ID}] = true
+			}
+		}
+	}
+
+	// Enumerate subsets of pending operations to include.
+	for mask := 0; mask < 1<<len(pending); mask++ {
+		chosen := make([]history.Op, len(complete), len(complete)+len(pending))
+		copy(chosen, complete)
+		for i, p := range pending {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, p)
+			}
+		}
+		if permuteLegal(m, chosen, nil, make([]bool, len(chosen)), prec) {
+			return true
+		}
+	}
+	return false
+}
+
+// permuteLegal tries every order of the remaining operations (used[i] marks
+// consumed ones), accumulating the sequence so far, and checks legality
+// incrementally.
+func permuteLegal(m spec.Model, ops []history.Op, seq []history.Op, used []bool, prec map[history.Pair]bool) bool {
+	if len(seq) == len(ops) {
+		return replayOps(m, seq)
+	}
+	for i := range ops {
+		if used[i] {
+			continue
+		}
+		// Real-time: everything that must precede ops[i] must be in seq.
+		ok := true
+		for j := range ops {
+			if i != j && !used[j] && prec[history.Pair{Before: ops[j].ID, After: ops[i].ID}] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		used[i] = true
+		if permuteLegal(m, ops, append(seq, ops[i]), used, prec) {
+			used[i] = false
+			return true
+		}
+		used[i] = false
+	}
+	return false
+}
+
+func replayOps(m spec.Model, seq []history.Op) bool {
+	st := m.Init()
+	for _, o := range seq {
+		next, res, ok := st.Apply(o.Op)
+		if !ok {
+			return false
+		}
+		if o.Complete && res != o.Res {
+			return false
+		}
+		st = next
+	}
+	return true
+}

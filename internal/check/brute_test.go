@@ -1,0 +1,111 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// TestWGAgreesWithBruteForce is the core correctness property of the
+// optimised checker: on thousands of tiny random histories — linearizable by
+// construction, mutated, and fully random — its verdict equals exhaustive
+// enumeration's.
+func TestWGAgreesWithBruteForce(t *testing.T) {
+	models := []spec.Model{spec.Queue(), spec.Stack(), spec.Counter(), spec.Register(0), spec.Set(), spec.Consensus()}
+	for _, m := range models {
+		for seed := int64(0); seed < 60; seed++ {
+			base := trace.RandomLinearizable(m, seed, 3, 6)
+			candidates := []history.History{
+				base,
+				trace.Mutate(base, seed*7+1),
+				trace.Mutate(trace.Mutate(base, seed*11+2), seed*13+3),
+			}
+			for ci, h := range candidates {
+				want := BruteForceLinearizable(m, h)
+				got := IsLinearizable(m, h)
+				if got != want {
+					t.Fatalf("%s seed %d case %d: wg=%v brute=%v\n%s", m.Name(), seed, ci, got, want, h.String())
+				}
+			}
+		}
+	}
+}
+
+// TestWGAgreesOnRandomGarbage feeds fully random (but well-formed) histories
+// with arbitrary responses — far outside the generator's linearizable space.
+func TestWGAgreesOnRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		h := randomGarbage(rng, 3, 5)
+		want := BruteForceLinearizable(spec.Queue(), h)
+		got := IsLinearizable(spec.Queue(), h)
+		if got != want {
+			t.Fatalf("trial %d: wg=%v brute=%v\n%s", trial, got, want, h.String())
+		}
+	}
+}
+
+// randomGarbage builds a random well-formed queue history with arbitrary
+// responses.
+func randomGarbage(rng *rand.Rand, procs, nops int) history.History {
+	var h history.History
+	pending := map[int]spec.Operation{}
+	var uniq uint64
+	started := 0
+	for started < nops || len(pending) > 0 {
+		p := rng.Intn(procs)
+		if op, busy := pending[p]; busy {
+			if rng.Intn(2) == 0 {
+				var res spec.Response
+				switch rng.Intn(3) {
+				case 0:
+					res = spec.OKResp()
+				case 1:
+					res = spec.EmptyResp()
+				default:
+					res = spec.ValueResp(int64(rng.Intn(4)))
+				}
+				h = append(h, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: res})
+				delete(pending, p)
+			}
+			continue
+		}
+		if started >= nops {
+			continue
+		}
+		uniq++
+		var op spec.Operation
+		if rng.Intn(2) == 0 {
+			op = spec.Operation{Method: spec.MethodEnq, Arg: int64(rng.Intn(4)), Uniq: uniq}
+		} else {
+			op = spec.Operation{Method: spec.MethodDeq, Uniq: uniq}
+		}
+		pending[p] = op
+		h = append(h, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+		started++
+	}
+	return h
+}
+
+func TestBruteForceBasics(t *testing.T) {
+	good := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if !BruteForceLinearizable(spec.Queue(), good) {
+		t.Fatal("member rejected")
+	}
+	bad := history.NewBuilder().
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		MustHistory(t)
+	if BruteForceLinearizable(spec.Queue(), bad) {
+		t.Fatal("non-member accepted")
+	}
+	if !BruteForceLinearizable(spec.Queue(), nil) {
+		t.Fatal("empty history rejected")
+	}
+}

@@ -1,0 +1,359 @@
+package check
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// tryCanonicalOrders attempts a handful of cheap candidate linearizations
+// (response order, invocation order) and validates them with
+// ReplaySequential. A true result is sound by construction: an explicit
+// legal sequential witness respecting real time was found.
+func tryCanonicalOrders(m spec.Model, h history.History) bool {
+	ops := h.Ops()
+	complete := make([]history.Op, 0, len(ops))
+	for _, o := range ops {
+		if o.Complete {
+			complete = append(complete, o)
+		}
+	}
+	build := func(less func(a, b history.Op) bool) []LinOp {
+		sorted := make([]history.Op, len(complete))
+		copy(sorted, complete)
+		sort.SliceStable(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+		lin := make([]LinOp, len(sorted))
+		for i, o := range sorted {
+			lin[i] = LinOp{Proc: o.Proc, ID: o.ID, Op: o.Op, Res: o.Res}
+		}
+		return lin
+	}
+	orders := []func(a, b history.Op) bool{
+		func(a, b history.Op) bool { return a.RetIdx < b.RetIdx },
+		func(a, b history.Op) bool { return a.InvIdx < b.InvIdx },
+	}
+	for _, less := range orders {
+		if ReplaySequential(m, h, build(less)) {
+			return true
+		}
+	}
+	return false
+}
+
+// ---------------------------------------------------------------------------
+// Counter monitor
+// ---------------------------------------------------------------------------
+
+type fastCounter struct {
+	noOnly bool
+}
+
+// FastCounter returns a polynomial-time monitor for the Inc/Read counter.
+// Its No answers rest on necessary conditions; its Yes answers carry a
+// verified explicit linearization; it answers Maybe otherwise.
+func FastCounter() Monitor { return fastCounter{} }
+
+// CounterNoDetector is FastCounter restricted to its sound No conditions: it
+// never answers Yes. Composed with the complete checker it yields the best
+// hot-path monitor: violations are refuted by the necessary conditions
+// without exhausting the linearization search, while member histories skip
+// straight to the efficient complete search (see the B7 benchmarks).
+func CounterNoDetector() Monitor { return fastCounter{noOnly: true} }
+
+func (fastCounter) Name() string { return "fast-counter" }
+
+func (f fastCounter) Check(h history.History) Verdict {
+	ops := h.Ops()
+	var incs, reads []history.Op
+	for _, o := range ops {
+		switch o.Op.Method {
+		case spec.MethodInc:
+			if o.Complete && o.Res.Kind != spec.KindNone {
+				return No // Inc always acknowledges
+			}
+			incs = append(incs, o)
+		case spec.MethodRead:
+			if o.Complete {
+				if o.Res.Kind != spec.KindValue {
+					return No
+				}
+				reads = append(reads, o)
+			}
+		default:
+			return Maybe // not a counter history
+		}
+	}
+	// Verified-Yes paths first: they are near-linear and succeed on the
+	// common (correct) histories, while the necessary-condition scans below
+	// are quadratic and only matter for violations.
+	if !f.noOnly {
+		if tryCanonicalOrders(spec.Counter(), h) {
+			return Yes
+		}
+		if lin, ok := buildCounterLinearization(incs, reads); ok &&
+			ReplaySequential(spec.Counter(), h, lin) {
+			return Yes
+		}
+	}
+	// Necessary bounds: lo(r) ≤ v(r) ≤ hi(r).
+	for _, r := range reads {
+		v := r.Res.Val
+		var lo, hi int64
+		for _, inc := range incs {
+			if inc.Complete && inc.RetIdx < r.InvIdx {
+				lo++
+			}
+			if inc.InvIdx < r.RetIdx {
+				hi++
+			}
+		}
+		if v < lo || v > hi {
+			return No
+		}
+	}
+	// Necessary monotonicity across real-time ordered reads.
+	for _, r1 := range reads {
+		for _, r2 := range reads {
+			if r1.RetIdx < r2.InvIdx && r1.Res.Val > r2.Res.Val {
+				return No
+			}
+		}
+	}
+	return Maybe
+}
+
+// buildCounterLinearization greedily assigns increments before reads so every
+// read sees exactly its value. Reads are placed in (value, invocation) order;
+// forced increments (those that fully precede a read) are placed first, then
+// the earliest-returning available increments fill up to the read's value.
+func buildCounterLinearization(incs, reads []history.Op) ([]LinOp, bool) {
+	sorted := make([]history.Op, len(reads))
+	copy(sorted, reads)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Res.Val != sorted[j].Res.Val {
+			return sorted[i].Res.Val < sorted[j].Res.Val
+		}
+		return sorted[i].InvIdx < sorted[j].InvIdx
+	})
+	// Increments ordered by return time (pending last), the most constrained
+	// first, so forced ones are consumed early.
+	order := make([]history.Op, len(incs))
+	copy(order, incs)
+	sort.SliceStable(order, func(i, j int) bool {
+		ri, rj := order[i].RetIdx, order[j].RetIdx
+		if ri < 0 {
+			ri = int(^uint(0) >> 1)
+		}
+		if rj < 0 {
+			rj = int(^uint(0) >> 1)
+		}
+		return ri < rj
+	})
+	used := make([]bool, len(order))
+	var lin []LinOp
+	placed := int64(0)
+	appendInc := func(i int) {
+		o := order[i]
+		used[i] = true
+		placed++
+		lin = append(lin, LinOp{Proc: o.Proc, ID: o.ID, Op: o.Op, Res: spec.OKResp(), Pending: !o.Complete})
+	}
+	for _, r := range sorted {
+		// Forced: complete incs that returned before r was invoked.
+		for i, o := range order {
+			if !used[i] && o.Complete && o.RetIdx < r.InvIdx {
+				appendInc(i)
+			}
+		}
+		if placed > r.Res.Val {
+			return nil, false
+		}
+		// Fill with increments that can precede r (invoked before r returned).
+		for i, o := range order {
+			if placed == r.Res.Val {
+				break
+			}
+			if !used[i] && o.InvIdx < r.RetIdx {
+				appendInc(i)
+			}
+		}
+		if placed != r.Res.Val {
+			return nil, false
+		}
+		lin = append(lin, LinOp{Proc: r.Proc, ID: r.ID, Op: r.Op, Res: r.Res})
+	}
+	// Remaining complete increments close the sequence in return order.
+	for i, o := range order {
+		if !used[i] && o.Complete {
+			appendInc(i)
+		}
+	}
+	return lin, true
+}
+
+// ---------------------------------------------------------------------------
+// Register monitor
+// ---------------------------------------------------------------------------
+
+type fastRegister struct {
+	initial int64
+	noOnly  bool
+}
+
+// FastRegister returns a polynomial-time monitor for the read/write register
+// with the given initial state. It requires distinct written values to give
+// No answers; it degrades to Maybe otherwise.
+func FastRegister(init spec.State) Monitor {
+	return fastRegister{initial: initialOf(init)}
+}
+
+// RegisterNoDetector is FastRegister restricted to its sound No conditions.
+func RegisterNoDetector(init spec.State) Monitor {
+	return fastRegister{initial: initialOf(init), noOnly: true}
+}
+
+func initialOf(init spec.State) int64 {
+	_, res, ok := init.Apply(spec.Operation{Method: spec.MethodRead})
+	if !ok {
+		return 0
+	}
+	return res.Val
+}
+
+func (fastRegister) Name() string { return "fast-register" }
+
+func (f fastRegister) Check(h history.History) Verdict {
+	ops := h.Ops()
+	writes := make(map[int64]history.Op)
+	distinct := true
+	var reads []history.Op
+	for _, o := range ops {
+		switch o.Op.Method {
+		case spec.MethodWrite:
+			if o.Complete && o.Res.Kind != spec.KindNone {
+				return No // Write always acknowledges
+			}
+			if _, dup := writes[o.Op.Arg]; dup || o.Op.Arg == f.initial {
+				distinct = false
+			}
+			writes[o.Op.Arg] = o
+		case spec.MethodRead:
+			if o.Complete {
+				if o.Res.Kind != spec.KindValue {
+					return No
+				}
+				reads = append(reads, o)
+			}
+		default:
+			return Maybe
+		}
+	}
+	if !distinct {
+		// Ambiguous sources; only the generic Yes path is sound.
+		if !f.noOnly && tryCanonicalOrders(spec.Register(f.initial), h) {
+			return Yes
+		}
+		return Maybe
+	}
+	// Verified-Yes paths first (near-linear), then the quadratic
+	// necessary-condition scans for No.
+	if !f.noOnly {
+		if tryCanonicalOrders(spec.Register(f.initial), h) {
+			return Yes
+		}
+		if lin, ok := buildRegisterLinearization(f.initial, writes, reads); ok &&
+			ReplaySequential(spec.Register(f.initial), h, lin) {
+			return Yes
+		}
+	}
+	for _, r := range reads {
+		v := r.Res.Val
+		if v == f.initial {
+			// Initial value: stale if any write completed before r started.
+			for _, w := range writes {
+				if w.Complete && w.RetIdx < r.InvIdx {
+					return No
+				}
+			}
+			continue
+		}
+		w, ok := writes[v]
+		if !ok {
+			return No // value never written
+		}
+		if w.InvIdx >= r.RetIdx {
+			return No // write cannot precede the read
+		}
+		if w.Complete {
+			// Stale read: some other write fits wholly between w and r.
+			for _, w2 := range writes {
+				if w2.ID != w.ID && w2.Complete && w.RetIdx < w2.InvIdx && w2.RetIdx < r.InvIdx {
+					return No
+				}
+			}
+		}
+	}
+	return Maybe
+}
+
+// buildRegisterLinearization orders write clusters by write invocation and
+// hangs each value's reads after its write, reads ordered by invocation.
+func buildRegisterLinearization(initial int64, writes map[int64]history.Op, reads []history.Op) ([]LinOp, bool) {
+	type cluster struct {
+		write *history.Op
+		reads []history.Op
+	}
+	clusters := map[int64]*cluster{initial: {}}
+	for v := range writes {
+		w := writes[v]
+		clusters[v] = &cluster{write: &w}
+	}
+	for _, r := range reads {
+		c, ok := clusters[r.Res.Val]
+		if !ok {
+			return nil, false
+		}
+		c.reads = append(c.reads, r)
+	}
+	ordered := make([]*cluster, 0, len(clusters))
+	if c := clusters[initial]; c.write == nil {
+		ordered = append(ordered, c)
+	}
+	rest := make([]*cluster, 0, len(clusters))
+	for v, c := range clusters {
+		if v == initial && c.write == nil {
+			continue
+		}
+		rest = append(rest, c)
+	}
+	sort.SliceStable(rest, func(i, j int) bool { return rest[i].write.InvIdx < rest[j].write.InvIdx })
+	ordered = append(ordered, rest...)
+	var lin []LinOp
+	for _, c := range ordered {
+		if c.write != nil {
+			w := *c.write
+			lin = append(lin, LinOp{Proc: w.Proc, ID: w.ID, Op: w.Op, Res: spec.OKResp(), Pending: !w.Complete})
+		}
+		rs := make([]history.Op, len(c.reads))
+		copy(rs, c.reads)
+		sort.SliceStable(rs, func(i, j int) bool { return rs[i].InvIdx < rs[j].InvIdx })
+		for _, r := range rs {
+			lin = append(lin, LinOp{Proc: r.Proc, ID: r.ID, Op: r.Op, Res: r.Res})
+		}
+	}
+	// Drop pending writes whose value was never read: they need not be
+	// linearized at all (keeping them could invalidate later reads).
+	out := lin[:0]
+	readValues := make(map[int64]bool, len(reads))
+	for _, r := range reads {
+		readValues[r.Res.Val] = true
+	}
+	for _, l := range lin {
+		if l.Pending && l.Op.Method == spec.MethodWrite && !readValues[l.Op.Arg] {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out, true
+}

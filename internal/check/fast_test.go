@@ -1,0 +1,222 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// crossValidate checks the soundness contract of a fast monitor against the
+// complete checker on a corpus of generated histories: Yes implies
+// linearizable, No implies non-linearizable; Maybe is always allowed.
+func crossValidate(t *testing.T, m spec.Model, mon Monitor, seeds int) (yes, no, maybe int) {
+	t.Helper()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		base := trace.RandomLinearizable(m, seed, 3, 12)
+		for _, h := range []history.History{base, trace.Mutate(base, seed*31)} {
+			want := IsLinearizable(m, h)
+			switch got := mon.Check(h); got {
+			case Yes:
+				yes++
+				if !want {
+					t.Fatalf("%s seed %d: monitor said Yes on non-linearizable history\n%s", mon.Name(), seed, h.String())
+				}
+			case No:
+				no++
+				if want {
+					t.Fatalf("%s seed %d: monitor said No on linearizable history\n%s", mon.Name(), seed, h.String())
+				}
+			case Maybe:
+				maybe++
+			}
+		}
+	}
+	return yes, no, maybe
+}
+
+func TestFastCounterSoundness(t *testing.T) {
+	yes, no, _ := crossValidate(t, spec.Counter(), FastCounter(), 150)
+	if yes == 0 || no == 0 {
+		t.Fatalf("corpus too weak: yes=%d no=%d", yes, no)
+	}
+}
+
+func TestFastRegisterSoundness(t *testing.T) {
+	yes, no, _ := crossValidate(t, spec.Register(0), FastRegister(spec.Register(0).Init()), 150)
+	if yes == 0 || no == 0 {
+		t.Fatalf("corpus too weak: yes=%d no=%d", yes, no)
+	}
+}
+
+func TestFastQueueSoundness(t *testing.T) {
+	yes, no, _ := crossValidate(t, spec.Queue(), FastQueue(), 150)
+	if yes == 0 || no == 0 {
+		t.Fatalf("corpus too weak: yes=%d no=%d", yes, no)
+	}
+}
+
+func TestFastStackSoundness(t *testing.T) {
+	yes, no, _ := crossValidate(t, spec.Stack(), FastStack(), 150)
+	if yes == 0 || no == 0 {
+		t.Fatalf("corpus too weak: yes=%d no=%d", yes, no)
+	}
+}
+
+// TestHybridAgreesWithWG: the hybrid monitor must produce the complete
+// checker's verdict on every history.
+func TestHybridAgreesWithWG(t *testing.T) {
+	models := []spec.Model{spec.Counter(), spec.Register(0), spec.Queue(), spec.Stack()}
+	for _, m := range models {
+		mon := ForModel(m)
+		for seed := int64(0); seed < 80; seed++ {
+			base := trace.RandomLinearizable(m, seed, 3, 10)
+			for _, h := range []history.History{base, trace.Mutate(base, seed*17)} {
+				want := IsLinearizable(m, h)
+				got := mon.Check(h)
+				if got == Maybe {
+					t.Fatalf("%s: hybrid returned Maybe", mon.Name())
+				}
+				if (got == Yes) != want {
+					t.Fatalf("%s seed %d: hybrid=%v want lin=%v\n%s", mon.Name(), seed, got, want, h.String())
+				}
+			}
+		}
+	}
+}
+
+func TestFastQueueDetectsPhantom(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodDeq, 0, spec.ValueResp(99)).
+		MustHistory(t)
+	if got := FastQueue().Check(h); got != No {
+		t.Fatalf("phantom dequeue: got %v, want No", got)
+	}
+}
+
+func TestFastQueueDetectsDuplicate(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if got := FastQueue().Check(h); got != No {
+		t.Fatalf("duplicate dequeue: got %v, want No", got)
+	}
+}
+
+func TestFastQueueDetectsFIFOViolation(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(0, spec.MethodEnq, 2, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(2)).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if got := FastQueue().Check(h); got != No {
+		t.Fatalf("FIFO violation: got %v, want No", got)
+	}
+}
+
+func TestFastQueueEmptyWithPendingDeqAllowed(t *testing.T) {
+	// Enq(1) completed, then Deq():empty — but a pending Deq was in flight
+	// the whole time and may have removed the value. Must not be No.
+	b := history.NewBuilder()
+	b.Inv(2, spec.MethodDeq, 0) // pending dequeue, could take the 1
+	b.Call(0, spec.MethodEnq, 1, spec.OKResp())
+	b.Call(1, spec.MethodDeq, 0, spec.EmptyResp())
+	h := b.MustHistory(t)
+	if got := FastQueue().Check(h); got == No {
+		t.Fatal("empty dequeue explainable by a pending dequeue must not be No")
+	}
+	if !IsLinearizable(spec.Queue(), h) {
+		t.Fatal("sanity: the history is linearizable")
+	}
+}
+
+func TestFastQueueEmptyImpossible(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.EmptyResp()).
+		MustHistory(t)
+	if got := FastQueue().Check(h); got != No {
+		t.Fatalf("impossible empty dequeue: got %v, want No", got)
+	}
+}
+
+func TestFastStackEmptyImpossible(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodPush, 1, spec.BoolResp(true)).
+		Call(1, spec.MethodPop, 0, spec.EmptyResp()).
+		MustHistory(t)
+	if got := FastStack().Check(h); got != No {
+		t.Fatalf("impossible empty pop: got %v, want No", got)
+	}
+}
+
+func TestFastCounterBounds(t *testing.T) {
+	low := history.NewBuilder().
+		Call(0, spec.MethodInc, 0, spec.OKResp()).
+		Call(1, spec.MethodRead, 0, spec.ValueResp(0)).
+		MustHistory(t)
+	if got := FastCounter().Check(low); got != No {
+		t.Fatalf("read below lower bound: got %v, want No", got)
+	}
+	high := history.NewBuilder().
+		Call(1, spec.MethodRead, 0, spec.ValueResp(1)).
+		Call(0, spec.MethodInc, 0, spec.OKResp()).
+		MustHistory(t)
+	if got := FastCounter().Check(high); got != No {
+		t.Fatalf("read above upper bound: got %v, want No", got)
+	}
+}
+
+func TestFastCounterMonotonicity(t *testing.T) {
+	b := history.NewBuilder()
+	b.Inv(2, spec.MethodInc, 0) // pending inc keeps bounds loose
+	b.Call(0, spec.MethodRead, 0, spec.ValueResp(1))
+	b.Call(1, spec.MethodRead, 0, spec.ValueResp(0))
+	h := b.MustHistory(t)
+	if got := FastCounter().Check(h); got != No {
+		t.Fatalf("non-monotone sequential reads: got %v, want No", got)
+	}
+}
+
+func TestFastRegisterStaleRead(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodWrite, 1, spec.OKResp()).
+		Call(0, spec.MethodWrite, 2, spec.OKResp()).
+		Call(1, spec.MethodRead, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if got := FastRegister(spec.Register(0).Init()).Check(h); got != No {
+		t.Fatalf("stale read: got %v, want No", got)
+	}
+}
+
+func TestFastRegisterInitialAfterWrite(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodWrite, 1, spec.OKResp()).
+		Call(1, spec.MethodRead, 0, spec.ValueResp(0)).
+		MustHistory(t)
+	if got := FastRegister(spec.Register(0).Init()).Check(h); got != No {
+		t.Fatalf("initial value after completed write: got %v, want No", got)
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Yes.String() != "Yes" || No.String() != "No" || Maybe.String() != "Maybe" {
+		t.Fatal("verdict names wrong")
+	}
+	if Verdict(0).String() != "invalid" {
+		t.Fatal("zero verdict must be invalid")
+	}
+}
+
+func TestMonitorNames(t *testing.T) {
+	if got := ForModel(spec.Counter()).Name(); got != "fast-counter+wg-counter" {
+		t.Fatalf("hybrid name = %q", got)
+	}
+	if got := ForModel(spec.Set()).Name(); got != "wg-set" {
+		t.Fatalf("plain name = %q", got)
+	}
+}

@@ -1,0 +1,224 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// fastQueue is a sound No-detector (plus verified Yes path) for FIFO queues
+// with distinct enqueued values, in the spirit of the tractable collection
+// monitors the paper cites ([32]).
+type fastQueue struct {
+	noOnly bool
+}
+
+// FastQueue returns the fast queue monitor.
+func FastQueue() Monitor { return fastQueue{} }
+
+// QueueNoDetector is FastQueue restricted to its sound No conditions.
+func QueueNoDetector() Monitor { return fastQueue{noOnly: true} }
+
+func (fastQueue) Name() string { return "fast-queue" }
+
+func (f fastQueue) Check(h history.History) Verdict {
+	ops := h.Ops()
+	enq := make(map[int64]history.Op)
+	var valueDeqs []history.Op
+	var emptyDeqs []history.Op
+	var pendingDeqs []history.Op
+	distinct := true
+	for _, o := range ops {
+		switch o.Op.Method {
+		case spec.MethodEnq:
+			if o.Complete && o.Res.Kind != spec.KindNone {
+				return No // Enq always acknowledges
+			}
+			if _, dup := enq[o.Op.Arg]; dup {
+				distinct = false
+			}
+			enq[o.Op.Arg] = o
+		case spec.MethodDeq:
+			if !o.Complete {
+				pendingDeqs = append(pendingDeqs, o)
+				continue
+			}
+			switch o.Res.Kind {
+			case spec.KindEmpty:
+				emptyDeqs = append(emptyDeqs, o)
+			case spec.KindValue:
+				valueDeqs = append(valueDeqs, o)
+			default:
+				return No
+			}
+		default:
+			return Maybe // not a queue history
+		}
+	}
+	if !distinct {
+		// Duplicate values make the matching ambiguous; only the generic
+		// verified-Yes path is sound here.
+		if !f.noOnly && tryCanonicalOrders(spec.Queue(), h) {
+			return Yes
+		}
+		return Maybe
+	}
+	deq := make(map[int64]history.Op, len(valueDeqs))
+	for _, d := range valueDeqs {
+		if _, dup := deq[d.Res.Val]; dup {
+			return No // same distinct value dequeued twice
+		}
+		deq[d.Res.Val] = d
+	}
+	for v, d := range deq {
+		e, ok := enq[v]
+		if !ok {
+			return No // dequeued a value never enqueued
+		}
+		if e.InvIdx >= d.RetIdx {
+			return No // dequeue finished before the enqueue started
+		}
+	}
+	// Verified-Yes path before the quadratic FIFO/empty scans.
+	if !f.noOnly && tryCanonicalOrders(spec.Queue(), h) {
+		return Yes
+	}
+	// FIFO: if enq(v) wholly precedes enq(w) and both were dequeued, deq(w)
+	// must not wholly precede deq(v).
+	for v, dv := range deq {
+		ev := enq[v]
+		for w, dw := range deq {
+			if v == w {
+				continue
+			}
+			ew := enq[w]
+			if ev.Complete && ev.RetIdx < ew.InvIdx && dw.RetIdx < dv.InvIdx {
+				return No
+			}
+		}
+	}
+	// Empty dequeues: count values provably inside the queue for the whole
+	// interval of the empty dequeue d — enqueued before d started, and
+	// removed only after d finished or never. Each pending dequeue invoked
+	// before d finished could account for removing at most one of them.
+	for _, d := range emptyDeqs {
+		stuck := 0
+		for v, e := range enq {
+			if !e.Complete || e.RetIdx >= d.InvIdx {
+				continue
+			}
+			dv, taken := deq[v]
+			if !taken || dv.InvIdx > d.RetIdx {
+				stuck++
+			}
+		}
+		reachable := 0
+		for _, p := range pendingDeqs {
+			if p.InvIdx < d.RetIdx {
+				reachable++
+			}
+		}
+		if stuck > reachable {
+			return No
+		}
+	}
+	return Maybe
+}
+
+// fastStack is the stack analogue: value-matching and empty-pop conditions
+// are sound No-detectors; order conditions are left to the complete checker.
+type fastStack struct {
+	noOnly bool
+}
+
+// FastStack returns the fast stack monitor.
+func FastStack() Monitor { return fastStack{} }
+
+// StackNoDetector is FastStack restricted to its sound No conditions.
+func StackNoDetector() Monitor { return fastStack{noOnly: true} }
+
+func (fastStack) Name() string { return "fast-stack" }
+
+func (f fastStack) Check(h history.History) Verdict {
+	ops := h.Ops()
+	push := make(map[int64]history.Op)
+	var valuePops []history.Op
+	var emptyPops []history.Op
+	var pendingPops []history.Op
+	distinct := true
+	for _, o := range ops {
+		switch o.Op.Method {
+		case spec.MethodPush:
+			if o.Complete && o.Res.Kind != spec.KindTrue {
+				return No // Push always returns true
+			}
+			if _, dup := push[o.Op.Arg]; dup {
+				distinct = false
+			}
+			push[o.Op.Arg] = o
+		case spec.MethodPop:
+			if !o.Complete {
+				pendingPops = append(pendingPops, o)
+				continue
+			}
+			switch o.Res.Kind {
+			case spec.KindEmpty:
+				emptyPops = append(emptyPops, o)
+			case spec.KindValue:
+				valuePops = append(valuePops, o)
+			default:
+				return No
+			}
+		default:
+			return Maybe
+		}
+	}
+	if !distinct {
+		if !f.noOnly && tryCanonicalOrders(spec.Stack(), h) {
+			return Yes
+		}
+		return Maybe
+	}
+	pop := make(map[int64]history.Op, len(valuePops))
+	for _, p := range valuePops {
+		if _, dup := pop[p.Res.Val]; dup {
+			return No
+		}
+		pop[p.Res.Val] = p
+	}
+	for v, p := range pop {
+		u, ok := push[v]
+		if !ok {
+			return No
+		}
+		if u.InvIdx >= p.RetIdx {
+			return No
+		}
+	}
+	// Verified-Yes path before the quadratic empty-pop scan.
+	if !f.noOnly && tryCanonicalOrders(spec.Stack(), h) {
+		return Yes
+	}
+	// Empty pops, with the same pending-pop allowance as the queue.
+	for _, p := range emptyPops {
+		stuck := 0
+		for v, u := range push {
+			if !u.Complete || u.RetIdx >= p.InvIdx {
+				continue
+			}
+			pv, taken := pop[v]
+			if !taken || pv.InvIdx > p.RetIdx {
+				stuck++
+			}
+		}
+		reachable := 0
+		for _, q := range pendingPops {
+			if q.InvIdx < p.RetIdx {
+				reachable++
+			}
+		}
+		if stuck > reachable {
+			return No
+		}
+	}
+	return Maybe
+}

@@ -1,0 +1,139 @@
+package check
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// SetLinearizable decides whether h is set-linearizable [81] with respect to
+// the set-sequential specification m: operations can be grouped into a
+// sequence of non-empty concurrency classes such that classes respect the
+// real-time order, every class transition is legal, and responses match.
+// Pending operations may be added to a class (choosing their response) or
+// dropped, as in Definition 4.2's extension.
+//
+// The search generalises the Wing–Gong window: the candidates are the calls
+// before the first return in the pruned entry list (all pairwise
+// overlapping), and every non-empty subset of them is a candidate class.
+// Exponential in the window size; histories over a handful of processes are
+// fine.
+func SetLinearizable(m spec.SetModel, h history.History) bool {
+	ops := h.Ops()
+	if len(ops) == 0 {
+		return true
+	}
+	type winEntry struct {
+		opIdx int
+	}
+	// Precompute op intervals; pending ops get +inf return.
+	inf := int(^uint(0) >> 1)
+	ret := make([]int, len(ops))
+	for i, o := range ops {
+		if o.Complete {
+			ret[i] = o.RetIdx
+		} else {
+			ret[i] = inf
+		}
+	}
+
+	completeRemaining := 0
+	for _, o := range ops {
+		if o.Complete {
+			completeRemaining++
+		}
+	}
+
+	memo := make(map[string]bool)
+	done := make([]bool, len(ops))
+
+	var search func(st spec.SetState, remainingComplete int) bool
+	search = func(st spec.SetState, remainingComplete int) bool {
+		if remainingComplete == 0 {
+			return true
+		}
+		key := doneKey(done) + "|" + st.Key()
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		// Window: undone ops invoked before the earliest return among undone
+		// ops. All window members are pairwise overlapping (each spans the
+		// instant just before that earliest return), so any non-empty subset
+		// is a real-time-legal concurrency class; and an op invoked after
+		// the earliest return cannot be classed before or with that op.
+		firstRet := inf
+		for i := range ops {
+			if !done[i] && ret[i] < firstRet {
+				firstRet = ret[i]
+			}
+		}
+		var window []winEntry
+		for i, o := range ops {
+			if !done[i] && o.InvIdx < firstRet {
+				window = append(window, winEntry{opIdx: i})
+			}
+		}
+		sort.Slice(window, func(a, b int) bool { return window[a].opIdx < window[b].opIdx })
+		if len(window) == 0 {
+			memo[key] = false
+			return false
+		}
+		// Try every non-empty subset of the window as the next class.
+		limit := 1 << len(window)
+		for mask := 1; mask < limit; mask++ {
+			class := make([]spec.Operation, 0, len(window))
+			idxs := make([]int, 0, len(window))
+			for b, w := range window {
+				if mask&(1<<b) != 0 {
+					class = append(class, ops[w.opIdx].Op)
+					idxs = append(idxs, w.opIdx)
+				}
+			}
+			next, res, ok := st.ApplySet(class)
+			if !ok {
+				continue
+			}
+			match := true
+			for k, i := range idxs {
+				if ops[i].Complete && res[k] != ops[i].Res {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			classComplete := 0
+			for _, i := range idxs {
+				done[i] = true
+				if ops[i].Complete {
+					classComplete++
+				}
+			}
+			if search(next, remainingComplete-classComplete) {
+				for _, i := range idxs {
+					done[i] = false
+				}
+				memo[key] = true
+				return true
+			}
+			for _, i := range idxs {
+				done[i] = false
+			}
+		}
+		memo[key] = false
+		return false
+	}
+	return search(m.InitSet(), completeRemaining)
+}
+
+func doneKey(done []bool) string {
+	b := make([]byte, (len(done)+7)/8)
+	for i, d := range done {
+		if d {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,337 @@
+package check
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/impls"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func wsOp(p int, uniq uint64) spec.Operation {
+	return spec.Operation{Method: spec.MethodWriteScan, Arg: int64(p), Uniq: uniq}
+}
+
+func procSet(procs ...int) spec.Response {
+	return spec.ValueResp(spec.PackProcSet(procs))
+}
+
+// TestSetLinSimultaneousClass: two overlapping WriteScans both returning
+// {p1,p2} are set-linearizable (one class) — the behaviour no sequential
+// object allows.
+func TestSetLinSimultaneousClass(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0, 1)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: procSet(0, 1)},
+	}
+	if !SetLinearizable(spec.ImmediateSnapshot(2), h) {
+		t.Fatal("simultaneous class rejected")
+	}
+}
+
+// TestSetLinSequentialClasses: nested sets from sequential classes.
+func TestSetLinSequentialClasses(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: procSet(0, 1)},
+	}
+	if !SetLinearizable(spec.ImmediateSnapshot(2), h) {
+		t.Fatal("sequential classes rejected")
+	}
+}
+
+// TestSetLinImmediacyViolation: p0 sees {0,1}, p1 (overlapping everything)
+// sees {0,1,2}: 1 is in p0's set, so 1's class is no later than p0's, whose
+// state is {0,1} — p1 cannot have seen process 2. Not set-linearizable.
+func TestSetLinImmediacyViolation(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0, 1)},
+		{Kind: history.Invoke, Proc: 2, ID: 3, Op: wsOp(2, 3)},
+		{Kind: history.Return, Proc: 2, ID: 3, Op: wsOp(2, 3), Res: procSet(0, 1, 2)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: procSet(0, 1, 2)},
+	}
+	if SetLinearizable(spec.ImmediateSnapshot(3), h) {
+		t.Fatal("immediacy violation accepted")
+	}
+}
+
+// TestSetLinComparabilityViolation: overlapping p0 and p1 returning {0} and
+// {1} cannot be ordered: whichever class is second must contain the first's
+// process.
+func TestSetLinComparabilityViolation(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: procSet(1)},
+	}
+	if SetLinearizable(spec.ImmediateSnapshot(2), h) {
+		t.Fatal("comparability violation accepted")
+	}
+}
+
+// TestSetLinRealTimeOrder: sequential (non-overlapping) ops cannot share a
+// class; the second must see the first.
+func TestSetLinRealTimeOrder(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: procSet(1)},
+	}
+	if SetLinearizable(spec.ImmediateSnapshot(2), h) {
+		t.Fatal("second op missing the completed first accepted")
+	}
+}
+
+// TestSetLinPending: a pending WriteScan can be classed (its response is
+// free) to explain another op's set.
+func TestSetLinPending(t *testing.T) {
+	h := history.History{
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)}, // pending forever
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: procSet(0, 1)},
+	}
+	if !SetLinearizable(spec.ImmediateSnapshot(2), h) {
+		t.Fatal("pending op not used to explain the set")
+	}
+}
+
+// TestBGImmediateSnapshotSetLinearizable: the Borowsky–Gafni implementation
+// always produces set-linearizable histories under concurrent stress.
+func TestBGImmediateSnapshotSetLinearizable(t *testing.T) {
+	const n = 4
+	for seed := int64(0); seed < 30; seed++ {
+		s := impls.NewBGImmediateSnapshot(n)
+		rec := trace.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				op := wsOp(p, uint64(p+1))
+				rec.Invoke(p, op)
+				res := s.Apply(p, op)
+				rec.Return(p, op, res)
+			}(p)
+		}
+		wg.Wait()
+		h := rec.History()
+		if !SetLinearizable(spec.ImmediateSnapshot(n), h) {
+			t.Fatalf("seed %d: BG immediate snapshot not set-linearizable:\n%s", seed, h.String())
+		}
+	}
+}
+
+// TestNonImmediateSnapshotViolates: the gated write-collect produces the
+// immediacy violation deterministically.
+func TestNonImmediateSnapshotViolates(t *testing.T) {
+	const n = 3
+	s := impls.NewNonImmediateSnapshot(n)
+	rec := trace.NewRecorder()
+
+	// Orchestrate: p0 and p1 write; p0 collects {0,1} and returns; p2 writes
+	// and returns {0,1,2}; p1 finally collects {0,1,2}.
+	p1wrote := make(chan struct{})
+	p1may := make(chan struct{})
+	s.Gate = func(proc int) {
+		if proc == 1 {
+			close(p1wrote)
+			<-p1may
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		op := wsOp(1, 2)
+		rec.Invoke(1, op)
+		res := s.Apply(1, op)
+		rec.Return(1, op, res)
+	}()
+	<-p1wrote
+	op0 := wsOp(0, 1)
+	rec.Invoke(0, op0)
+	res0 := s.Apply(0, op0)
+	rec.Return(0, op0, res0)
+	op2 := wsOp(2, 3)
+	rec.Invoke(2, op2)
+	res2 := s.Apply(2, op2)
+	rec.Return(2, op2, res2)
+	close(p1may)
+	wg.Wait()
+
+	h := rec.History()
+	if SetLinearizable(spec.ImmediateSnapshot(n), h) {
+		t.Fatalf("non-immediate snapshot accepted as set-linearizable:\n%s", h.String())
+	}
+}
+
+// BruteForceSetLinearizable enumerates all ordered partitions into classes
+// (over all subsets of pending ops) with explicit real-time legality checks —
+// the reference oracle for the windowed search.
+func BruteForceSetLinearizable(m spec.SetModel, h history.History) bool {
+	ops := h.Ops()
+	var complete, pending []history.Op
+	for _, o := range ops {
+		if o.Complete {
+			complete = append(complete, o)
+		} else {
+			pending = append(pending, o)
+		}
+	}
+	overlap := func(a, b history.Op) bool {
+		aRet, bRet := a.RetIdx, b.RetIdx
+		if !a.Complete {
+			aRet = int(^uint(0) >> 1)
+		}
+		if !b.Complete {
+			bRet = int(^uint(0) >> 1)
+		}
+		return a.InvIdx < bRet && b.InvIdx < aRet
+	}
+	var solve func(st spec.SetState, remaining []history.Op) bool
+	solve = func(st spec.SetState, remaining []history.Op) bool {
+		if len(remaining) == 0 {
+			return true
+		}
+		for mask := 1; mask < 1<<len(remaining); mask++ {
+			var class []history.Op
+			var rest []history.Op
+			for i, o := range remaining {
+				if mask&(1<<i) != 0 {
+					class = append(class, o)
+				} else {
+					rest = append(rest, o)
+				}
+			}
+			// Class members pairwise overlapping.
+			legal := true
+			for i := 0; i < len(class) && legal; i++ {
+				for j := i + 1; j < len(class); j++ {
+					if !overlap(class[i], class[j]) {
+						legal = false
+						break
+					}
+				}
+			}
+			// Nothing in rest may wholly precede anything in the class.
+			for _, c := range class {
+				if !legal {
+					break
+				}
+				for _, r := range rest {
+					if r.Complete && r.RetIdx < c.InvIdx {
+						legal = false
+						break
+					}
+				}
+			}
+			if !legal {
+				continue
+			}
+			opsIn := make([]spec.Operation, len(class))
+			for i, o := range class {
+				opsIn[i] = o.Op
+			}
+			next, res, ok := st.ApplySet(opsIn)
+			if !ok {
+				continue
+			}
+			match := true
+			for i, o := range class {
+				if o.Complete && res[i] != o.Res {
+					match = false
+					break
+				}
+			}
+			if match && solve(next, rest) {
+				return true
+			}
+		}
+		return false
+	}
+	for mask := 0; mask < 1<<len(pending); mask++ {
+		all := make([]history.Op, len(complete), len(complete)+len(pending))
+		copy(all, complete)
+		for i, p := range pending {
+			if mask&(1<<i) != 0 {
+				all = append(all, p)
+			}
+		}
+		if solve(m.InitSet(), all) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSetLinAgreesWithBruteForce cross-validates the windowed search on
+// random small immediate-snapshot histories with random responses.
+func TestSetLinAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := spec.ImmediateSnapshot(3)
+	for trial := 0; trial < 300; trial++ {
+		h := randomISHistory(rng, 3)
+		want := BruteForceSetLinearizable(m, h)
+		got := SetLinearizable(m, h)
+		if got != want {
+			t.Fatalf("trial %d: windowed=%v brute=%v\n%s", trial, got, want, h.String())
+		}
+	}
+}
+
+// randomISHistory builds a random well-formed one-shot WriteScan history
+// with arbitrary set responses.
+func randomISHistory(rng *rand.Rand, n int) history.History {
+	var h history.History
+	type st struct {
+		op      spec.Operation
+		invoked bool
+		done    bool
+	}
+	procs := make([]st, n)
+	for p := range procs {
+		procs[p].op = wsOp(p, uint64(p+1))
+	}
+	for {
+		remaining := false
+		for p := range procs {
+			if !procs[p].done {
+				remaining = true
+			}
+		}
+		if !remaining {
+			break
+		}
+		p := rng.Intn(n)
+		if procs[p].done {
+			continue
+		}
+		if !procs[p].invoked {
+			procs[p].invoked = true
+			h = append(h, history.Event{Kind: history.Invoke, Proc: p, ID: procs[p].op.Uniq, Op: procs[p].op})
+			continue
+		}
+		procs[p].done = true
+		if rng.Intn(5) == 0 {
+			continue // leave pending forever
+		}
+		mask := int64(rng.Intn(1 << n))
+		mask |= 1 << uint(p) // keep self-inclusion plausible half the time
+		if rng.Intn(4) == 0 {
+			mask &^= 1 << uint(p) // sometimes break even that
+		}
+		h = append(h, history.Event{Kind: history.Return, Proc: p, ID: procs[p].op.Uniq, Op: procs[p].op, Res: spec.ValueResp(mask)})
+	}
+	return h
+}

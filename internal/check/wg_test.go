@@ -1,0 +1,310 @@
+package check
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// fig3Top transcribes the top history of Figure 3: linearizable, with
+// linearization ⟨Push(2)⟩⟨Push(1)⟩⟨Pop():1⟩⟨Pop():2⟩.
+func fig3Top(t *testing.T) history.History {
+	b := history.NewBuilder()
+	b.Inv(0, spec.MethodPush, 1)  // p1 Push(1)
+	b.Inv(1, spec.MethodPush, 2)  // p2 Push(2)
+	b.Ret(1, spec.BoolResp(true)) // Push(2):true
+	b.Inv(1, spec.MethodPop, 0)   // p2 Pop()
+	b.Ret(0, spec.BoolResp(true)) // Push(1):true
+	b.Inv(2, spec.MethodPop, 0)   // p3 Pop()
+	b.Ret(2, spec.ValueResp(1))   // Pop():1
+	b.Ret(1, spec.ValueResp(2))   // Pop():2
+	return b.MustHistory(t)
+}
+
+// fig3Bottom transcribes the bottom history of Figure 3: not linearizable,
+// "the stack cannot be empty when Pop():empty starts".
+func fig3Bottom(t *testing.T) history.History {
+	b := history.NewBuilder()
+	b.Inv(0, spec.MethodPush, 1)  // p1 Push(1)
+	b.Inv(1, spec.MethodPush, 2)  // p2 Push(2)
+	b.Ret(1, spec.BoolResp(true)) // Push(2):true   (completes before pops start)
+	b.Inv(1, spec.MethodPop, 0)   // p2 Pop()
+	b.Ret(0, spec.BoolResp(true)) // Push(1):true
+	b.Inv(2, spec.MethodPop, 0)   // p3 Pop() — starts after Push(2) completed
+	b.Ret(2, spec.EmptyResp())    // Pop():empty — impossible
+	b.Ret(1, spec.ValueResp(1))   // Pop():1
+	return b.MustHistory(t)
+}
+
+func TestFig3TopLinearizable(t *testing.T) {
+	h := fig3Top(t)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("figure transcription invalid: %v", err)
+	}
+	r := Linearizable(spec.Stack(), h)
+	if !r.Ok {
+		t.Fatalf("Figure 3 (top) must be linearizable\n%s", h.Render())
+	}
+	if !ReplaySequential(spec.Stack(), h, r.Linearization) {
+		t.Fatalf("returned linearization is not a valid witness: %+v", r.Linearization)
+	}
+}
+
+func TestFig3BottomNotLinearizable(t *testing.T) {
+	h := fig3Bottom(t)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("figure transcription invalid: %v", err)
+	}
+	if IsLinearizable(spec.Stack(), h) {
+		t.Fatalf("Figure 3 (bottom) must not be linearizable\n%s", h.Render())
+	}
+}
+
+// TestFig1 reproduces Figure 1: two stack executions in which both processes
+// see the same local sequences; the first is linearizable, the second is not.
+func TestFig1(t *testing.T) {
+	top := history.NewBuilder().
+		Inv(0, spec.MethodPush, 1).
+		Inv(1, spec.MethodPop, 0).
+		Ret(0, spec.BoolResp(true)).
+		Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	if !IsLinearizable(spec.Stack(), top) {
+		t.Fatal("Figure 1 (top) must be linearizable")
+	}
+	// Bottom: Pop():1 completes strictly before Push(1) starts.
+	bottom := history.NewBuilder().
+		Call(1, spec.MethodPop, 0, spec.ValueResp(1)).
+		Call(0, spec.MethodPush, 1, spec.BoolResp(true)).
+		MustHistory(t)
+	if IsLinearizable(spec.Stack(), bottom) {
+		t.Fatal("Figure 1 (bottom) must not be linearizable")
+	}
+	// The two executions are indistinguishable to the processes: identical
+	// per-process sequences.
+	if !history.Equivalent(
+		history.History{top[0], top[2], top[1], top[3]}, // reorder top into bottom's shape
+		history.History{top[1], top[3], top[0], top[2]},
+	) {
+		// Equivalence ignores global order entirely, so any reordering works.
+		t.Fatal("Figure 1 executions must be equivalent")
+	}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	if !IsLinearizable(spec.Queue(), nil) {
+		t.Fatal("empty history must be linearizable")
+	}
+}
+
+func TestPendingOperationCanBeLinearized(t *testing.T) {
+	// Enq(1) is pending but Deq already returned 1: the pending Enq must be
+	// linearized before the Deq (Definition 4.2's extension).
+	h := history.NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	r := Linearizable(spec.Queue(), h)
+	if !r.Ok {
+		t.Fatal("pending Enq must be linearizable before the observed Deq")
+	}
+	foundPending := false
+	for _, l := range r.Linearization {
+		if l.Pending && l.Op.Method == spec.MethodEnq {
+			foundPending = true
+		}
+	}
+	if !foundPending {
+		t.Fatalf("witness must include the pending Enq: %+v", r.Linearization)
+	}
+}
+
+func TestPendingOperationCanBeDropped(t *testing.T) {
+	// A pending Enq whose value never surfaced may simply not be linearized.
+	h := history.NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Call(1, spec.MethodDeq, 0, spec.EmptyResp()).
+		MustHistory(t)
+	if !IsLinearizable(spec.Queue(), h) {
+		t.Fatal("history with droppable pending op must be linearizable")
+	}
+}
+
+func TestRealTimeOrderRespected(t *testing.T) {
+	// Deq():2 wholly after both enqueues, but Enq(1) wholly precedes Enq(2):
+	// FIFO forces Deq to return 1.
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(0, spec.MethodEnq, 2, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(2)).
+		MustHistory(t)
+	if IsLinearizable(spec.Queue(), h) {
+		t.Fatal("FIFO violation must be rejected")
+	}
+}
+
+func TestConcurrentEnqueuesEitherOrder(t *testing.T) {
+	h := history.NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodEnq, 2).
+		Ret(0, spec.OKResp()).
+		Ret(1, spec.OKResp()).
+		Call(2, spec.MethodDeq, 0, spec.ValueResp(2)).
+		Call(2, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if !IsLinearizable(spec.Queue(), h) {
+		t.Fatal("concurrent enqueues may be ordered either way")
+	}
+}
+
+func TestCounterHistories(t *testing.T) {
+	ok := history.NewBuilder().
+		Inv(0, spec.MethodInc, 0).
+		Call(1, spec.MethodRead, 0, spec.ValueResp(1)). // concurrent inc may count
+		Ret(0, spec.OKResp()).
+		MustHistory(t)
+	if !IsLinearizable(spec.Counter(), ok) {
+		t.Fatal("read overlapping inc may see it")
+	}
+	bad := history.NewBuilder().
+		Call(0, spec.MethodInc, 0, spec.OKResp()).
+		Call(1, spec.MethodRead, 0, spec.ValueResp(0)). // inc completed before
+		MustHistory(t)
+	if IsLinearizable(spec.Counter(), bad) {
+		t.Fatal("read after completed inc cannot miss it")
+	}
+}
+
+func TestConsensusValidity(t *testing.T) {
+	// A solo Decide(5) returning 7 is not linearizable: the first Decide
+	// returns its own input.
+	bad := history.NewBuilder().
+		Call(0, spec.MethodDecide, 5, spec.ValueResp(7)).
+		MustHistory(t)
+	if IsLinearizable(spec.Consensus(), bad) {
+		t.Fatal("solo consensus deciding a non-input must be rejected")
+	}
+	// Two concurrent Decides agreeing on one of the inputs are fine.
+	good := history.NewBuilder().
+		Inv(0, spec.MethodDecide, 5).
+		Inv(1, spec.MethodDecide, 7).
+		Ret(0, spec.ValueResp(7)).
+		Ret(1, spec.ValueResp(7)).
+		MustHistory(t)
+	if !IsLinearizable(spec.Consensus(), good) {
+		t.Fatal("agreeing concurrent decides must be accepted")
+	}
+	disagree := history.NewBuilder().
+		Inv(0, spec.MethodDecide, 5).
+		Inv(1, spec.MethodDecide, 7).
+		Ret(0, spec.ValueResp(5)).
+		Ret(1, spec.ValueResp(7)).
+		MustHistory(t)
+	if IsLinearizable(spec.Consensus(), disagree) {
+		t.Fatal("disagreement must be rejected")
+	}
+}
+
+func TestFirstViolation(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)). // duplicate: violation
+		Call(0, spec.MethodEnq, 2, spec.OKResp()).
+		MustHistory(t)
+	k := FirstViolation(spec.Queue(), h)
+	if k != 6 {
+		t.Fatalf("FirstViolation = %d, want 6 (the second Deq's response)", k)
+	}
+	lin := history.NewBuilder().Call(0, spec.MethodEnq, 1, spec.OKResp()).MustHistory(t)
+	if k := FirstViolation(spec.Queue(), lin); k != -1 {
+		t.Fatalf("FirstViolation on linearizable history = %d, want -1", k)
+	}
+}
+
+func TestReplaySequentialRejects(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	ops := h.Ops()
+	// Wrong order: Deq before Enq is illegal for the model.
+	bad := []LinOp{
+		{Proc: 1, ID: ops[1].ID, Op: ops[1].Op, Res: ops[1].Res},
+		{Proc: 0, ID: ops[0].ID, Op: ops[0].Op, Res: ops[0].Res},
+	}
+	if ReplaySequential(spec.Queue(), h, bad) {
+		t.Fatal("illegal sequential order accepted")
+	}
+	// Missing complete op.
+	missing := []LinOp{{Proc: 0, ID: ops[0].ID, Op: ops[0].Op, Res: ops[0].Res}}
+	if ReplaySequential(spec.Queue(), h, missing) {
+		t.Fatal("linearization missing a complete op accepted")
+	}
+}
+
+// TestRandomLinearizableAlwaysAccepted: histories generated with explicit
+// linearization points must always pass the checker.
+func TestRandomLinearizableAlwaysAccepted(t *testing.T) {
+	models := []spec.Model{spec.Queue(), spec.Stack(), spec.Counter(), spec.Register(0), spec.Set(), spec.PQueue(), spec.Consensus()}
+	for _, m := range models {
+		for seed := int64(0); seed < 25; seed++ {
+			h := trace.RandomLinearizable(m, seed, 3, 14)
+			if err := h.Validate(); err != nil {
+				t.Fatalf("%s seed %d: generator produced invalid history: %v", m.Name(), seed, err)
+			}
+			if !IsLinearizable(m, h) {
+				t.Fatalf("%s seed %d: linearizable-by-construction history rejected\n%s", m.Name(), seed, h.String())
+			}
+		}
+	}
+}
+
+func TestExploredCounter(t *testing.T) {
+	h := trace.RandomLinearizable(spec.Queue(), 42, 3, 12)
+	r := Linearizable(spec.Queue(), h)
+	if !r.Ok || r.Explored == 0 {
+		t.Fatalf("expected a successful search with work done, got %+v", r)
+	}
+}
+
+func TestOnlyPendingOps(t *testing.T) {
+	h := history.NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		MustHistory(t)
+	if !IsLinearizable(spec.Queue(), h) {
+		t.Fatal("history with only pending ops must be linearizable")
+	}
+}
+
+func TestIllegalMethodRejected(t *testing.T) {
+	h := history.NewBuilder().
+		Call(0, spec.MethodPush, 1, spec.BoolResp(true)).
+		MustHistory(t)
+	if IsLinearizable(spec.Queue(), h) {
+		t.Fatal("queue accepted a Push operation")
+	}
+}
+
+// TestDeepSequentialHistory exercises the checker on a long, almost
+// sequential history — the memoisation must keep this linear.
+func TestDeepSequentialHistory(t *testing.T) {
+	b := history.NewBuilder()
+	for i := int64(1); i <= 200; i++ {
+		b.Call(0, spec.MethodEnq, i, spec.OKResp())
+	}
+	for i := int64(1); i <= 200; i++ {
+		b.Call(1, spec.MethodDeq, 0, spec.ValueResp(i))
+	}
+	h := b.MustHistory(t)
+	r := Linearizable(spec.Queue(), h)
+	if !r.Ok {
+		t.Fatal("long sequential history rejected")
+	}
+	if r.Explored > 500 {
+		t.Fatalf("search explored %d states on a sequential history", r.Explored)
+	}
+}

@@ -1,0 +1,68 @@
+// Package conslist provides persistent (immutable) single-linked lists.
+//
+// They realise the paper's §9.1 bounded-size representation of the
+// ever-growing sets written to the snapshot objects: instead of writing a
+// whole set, a process writes the head node of an immutable list; readers
+// share structure, so memory stays proportional to the number of elements
+// ever announced rather than to (elements × writes).
+package conslist
+
+// Node is one cell of a persistent list. A nil *Node is the empty list.
+type Node[T any] struct {
+	val   T
+	next  *Node[T]
+	depth int
+}
+
+// Push returns the list v:head without modifying head.
+func Push[T any](head *Node[T], v T) *Node[T] {
+	return &Node[T]{val: v, next: head, depth: head.Depth() + 1}
+}
+
+// Depth returns the number of elements of the list. Depth of nil is 0.
+func (n *Node[T]) Depth() int {
+	if n == nil {
+		return 0
+	}
+	return n.depth
+}
+
+// Value returns the most recently pushed element.
+func (n *Node[T]) Value() T { return n.val }
+
+// Next returns the list without its most recent element.
+func (n *Node[T]) Next() *Node[T] { return n.next }
+
+// At returns the suffix list of the given depth (0 returns nil). It panics
+// via nil dereference only on depths larger than n's; callers guard with
+// Depth.
+func (n *Node[T]) At(depth int) *Node[T] {
+	cur := n
+	for cur.Depth() > depth {
+		cur = cur.next
+	}
+	return cur
+}
+
+// Ascending returns the elements oldest-first.
+func (n *Node[T]) Ascending() []T {
+	out := make([]T, n.Depth())
+	for cur := n; cur != nil; cur = cur.next {
+		out[cur.depth-1] = cur.val
+	}
+	return out
+}
+
+// AscendingSince returns the elements with depth in (from, n.Depth()],
+// oldest-first: the elements pushed after the suffix of depth from.
+func (n *Node[T]) AscendingSince(from int) []T {
+	d := n.Depth()
+	if d <= from {
+		return nil
+	}
+	out := make([]T, d-from)
+	for cur := n; cur.Depth() > from; cur = cur.next {
+		out[cur.depth-from-1] = cur.val
+	}
+	return out
+}

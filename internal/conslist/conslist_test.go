@@ -1,0 +1,129 @@
+package conslist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	var n *Node[int]
+	if n.Depth() != 0 {
+		t.Fatalf("nil depth = %d", n.Depth())
+	}
+	if got := n.Ascending(); len(got) != 0 {
+		t.Fatalf("nil Ascending = %v", got)
+	}
+	if n.At(0) != nil {
+		t.Fatal("At(0) of nil must be nil")
+	}
+}
+
+func TestPushAndAscending(t *testing.T) {
+	var n *Node[int]
+	for i := 1; i <= 4; i++ {
+		n = Push(n, i)
+	}
+	if n.Depth() != 4 {
+		t.Fatalf("depth = %d", n.Depth())
+	}
+	want := []int{1, 2, 3, 4}
+	got := n.Ascending()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ascending = %v, want %v", got, want)
+		}
+	}
+	if n.Value() != 4 {
+		t.Fatalf("Value = %d", n.Value())
+	}
+}
+
+func TestPersistence(t *testing.T) {
+	var a *Node[int]
+	a = Push(a, 1)
+	b := Push(a, 2)
+	c := Push(a, 3) // branch from a, not b
+	if b.Depth() != 2 || c.Depth() != 2 {
+		t.Fatal("branch depths wrong")
+	}
+	if a.Depth() != 1 || a.Value() != 1 {
+		t.Fatal("push mutated the shared prefix")
+	}
+	if b.Value() != 2 || c.Value() != 3 {
+		t.Fatal("branches interfere")
+	}
+}
+
+func TestAt(t *testing.T) {
+	var n *Node[int]
+	for i := 1; i <= 5; i++ {
+		n = Push(n, i)
+	}
+	for d := 0; d <= 5; d++ {
+		suffix := n.At(d)
+		if suffix.Depth() != d {
+			t.Fatalf("At(%d).Depth = %d", d, suffix.Depth())
+		}
+	}
+	if n.At(3).Value() != 3 {
+		t.Fatalf("At(3).Value = %d", n.At(3).Value())
+	}
+}
+
+func TestAscendingSince(t *testing.T) {
+	var n *Node[int]
+	for i := 1; i <= 5; i++ {
+		n = Push(n, i)
+	}
+	got := n.AscendingSince(2)
+	want := []int{3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("AscendingSince(2) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("AscendingSince(2) = %v, want %v", got, want)
+		}
+	}
+	if got := n.AscendingSince(5); got != nil {
+		t.Fatalf("AscendingSince(depth) = %v, want nil", got)
+	}
+	if got := n.AscendingSince(9); got != nil {
+		t.Fatalf("AscendingSince(>depth) = %v, want nil", got)
+	}
+}
+
+// Property: Ascending(Push^k(nil)) is always 1..k, and AscendingSince(j) is
+// the suffix starting at j+1.
+func TestAscendingProperty(t *testing.T) {
+	f := func(k uint8, j uint8) bool {
+		var n *Node[int]
+		kk := int(k % 64)
+		for i := 1; i <= kk; i++ {
+			n = Push(n, i)
+		}
+		asc := n.Ascending()
+		if len(asc) != kk {
+			return false
+		}
+		for i := 0; i < kk; i++ {
+			if asc[i] != i+1 {
+				return false
+			}
+		}
+		jj := int(j) % (kk + 1)
+		since := n.AscendingSince(jj)
+		if len(since) != kk-jj {
+			return false
+		}
+		for i := range since {
+			if since[i] != jj+i+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

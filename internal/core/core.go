@@ -1,0 +1,117 @@
+// Package core implements the paper's primary contribution:
+//
+//   - the class DRV and the A* construction of Figure 7 (DRV),
+//   - views, their properties (Remark 7.2) and the X(λ) history
+//     reconstruction of §7.3.3 (Tuple, BuildHistory),
+//   - the wait-free predictive verifier of Figure 10 (Verifier),
+//   - the self-enforced implementation of Figure 11 (Enforced),
+//   - the decoupled variant of Figure 12 (Decoupled).
+//
+// All algorithms communicate exclusively through the linearizable snapshot
+// objects of internal/snapshot (read/write base objects only, per the paper's
+// consensus-number-one requirement) and represent the ever-growing announce
+// and result sets as persistent cons-lists (§9.1's bounded representation).
+package core
+
+import (
+	"repro/internal/conslist"
+	"repro/internal/spec"
+)
+
+// Implementation is the black box A of §3: an arbitrary concurrent
+// implementation that exposes the single high-level operation Apply.
+// Implementations must be safe for concurrent use by distinct process
+// indices; the caller guarantees each process index is driven by one
+// goroutine at a time (processes are sequential, §2).
+type Implementation interface {
+	Apply(proc int, op spec.Operation) spec.Response
+	Name() string
+}
+
+// Ann is an invocation pair (p_i, op_i) as announced in Line 01–02 of A*
+// (Figure 7).
+type Ann struct {
+	Proc int
+	Op   spec.Operation
+}
+
+// View is a view λ (§7.3): the set of invocation pairs a process collected
+// with its Snapshot step. It is represented by the per-process announce-list
+// heads observed in the snapshot; because each process announces by pushing
+// onto its own persistent list, a view is fully determined by how many
+// announcements of each process it contains, and views are compared by those
+// counts.
+type View struct {
+	heads  []*conslist.Node[Ann]
+	counts []int
+}
+
+// NewView wraps the heads returned by a scan of the announce snapshot.
+func NewView(heads []*conslist.Node[Ann]) View {
+	counts := make([]int, len(heads))
+	for i, h := range heads {
+		counts[i] = h.Depth()
+	}
+	return View{heads: heads, counts: counts}
+}
+
+// Counts returns the per-process announcement counts of the view. The result
+// is shared; callers must not modify it.
+func (v View) Counts() []int { return v.counts }
+
+// Size returns |λ|, the number of invocation pairs in the view.
+func (v View) Size() int {
+	total := 0
+	for _, c := range v.counts {
+		total += c
+	}
+	return total
+}
+
+// LeqOf reports whether v ⊆ w (containment comparability, Remark 7.2(2),
+// reduces to pointwise counts under the prefix property).
+func (v View) LeqOf(w View) bool {
+	if len(v.counts) != len(w.counts) {
+		return false
+	}
+	for i := range v.counts {
+		if v.counts[i] > w.counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether v and w are the same view.
+func (v View) Equal(w View) bool {
+	return v.LeqOf(w) && w.LeqOf(v)
+}
+
+// ContainsAnn reports whether the invocation pair of (proc, op) is in the
+// view, identified by op.Uniq.
+func (v View) ContainsAnn(proc int, op spec.Operation) bool {
+	if proc < 0 || proc >= len(v.heads) {
+		return false
+	}
+	for n := v.heads[proc]; n != nil; n = n.Next() {
+		if n.Value().Op.Uniq == op.Uniq {
+			return true
+		}
+	}
+	return false
+}
+
+// annsSince returns the invocation pairs of process p in v with per-process
+// index in (from, counts[p]], oldest first.
+func (v View) annsSince(p, from int) []Ann {
+	return v.heads[p].AscendingSince(from)
+}
+
+// Tuple is a 4-tuple (p_i, op_i, y_i, λ_i) as accumulated by the verifier of
+// Figure 10 and the self-enforced implementation of Figure 11.
+type Tuple struct {
+	Proc int
+	Op   spec.Operation
+	Res  spec.Response
+	View View
+}

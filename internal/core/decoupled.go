@@ -1,0 +1,93 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/conslist"
+	"repro/internal/genlin"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+)
+
+// Decoupled is the decoupled self-enforced implementation D_{O,A} of
+// Figure 12 (§9.2): producers obtain responses through A* and publish the
+// sketch; dedicated verifier goroutines monitor it. Producers never wait for
+// verification, so responses may be returned before an error is detected —
+// the trade-off §9.2 describes — but every violation is eventually reported
+// as long as one verifier survives.
+type Decoupled struct {
+	n   int
+	drv *DRV
+	obj genlin.Object
+	m   snapshot.Snapshot[*conslist.Node[Tuple]]
+	res []*conslist.Node[Tuple]
+
+	onReport func(Report)
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
+// onReport is called from verifier goroutines for every iteration that finds
+// a violation (the paper's verifiers report in every loop iteration; callers
+// deduplicate as needed). Close must be called to stop the verifiers.
+func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onReport func(Report), opts ...Option) *Decoupled {
+	d := &Decoupled{
+		n:        n,
+		drv:      NewDRV(inner, n, opts...),
+		obj:      obj,
+		m:        snapshot.NewAfek[*conslist.Node[Tuple]](n),
+		res:      make([]*conslist.Node[Tuple], n),
+		onReport: onReport,
+		stop:     make(chan struct{}),
+	}
+	for j := 0; j < verifiers; j++ {
+		d.wg.Add(1)
+		go d.verifyLoop(j)
+	}
+	return d
+}
+
+// N returns the number of producer processes.
+func (d *Decoupled) N() int { return d.n }
+
+// Name identifies the implementation.
+func (d *Decoupled) Name() string { return d.drv.inner.Name() + "+decoupled" }
+
+// Apply is the producer operation of Figure 12 (Lines 01–05): obtain the
+// response through A*, publish the 4-tuple, and return immediately.
+func (d *Decoupled) Apply(proc int, op spec.Operation) spec.Response {
+	y, view := d.drv.Apply(proc, op)
+	d.res[proc] = conslist.Push(d.res[proc], Tuple{Proc: proc, Op: op, Res: y, View: view})
+	d.m.Update(proc, d.res[proc])
+	return y
+}
+
+// verifyLoop is operation Verify() of Figure 12 (Lines 06–12).
+func (d *Decoupled) verifyLoop(j int) {
+	defer d.wg.Done()
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		heads := d.m.Scan(0)
+		var tuples []Tuple
+		for _, h := range heads {
+			tuples = append(tuples, h.Ascending()...)
+		}
+		x, err := BuildHistory(tuples, d.n)
+		if err != nil || !d.obj.Contains(x) {
+			d.onReport(Report{Proc: -1 - j, Witness: x})
+		}
+		runtime.Gosched()
+	}
+}
+
+// Close stops the verifier goroutines and waits for them to exit.
+func (d *Decoupled) Close() {
+	close(d.stop)
+	d.wg.Wait()
+}

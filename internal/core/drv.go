@@ -1,0 +1,121 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/conslist"
+	"repro/internal/history"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+)
+
+// DRV wraps an arbitrary implementation A into its counterpart A* in the
+// class DRV, exactly as Figure 7: every Apply announces its invocation pair
+// in a shared snapshot object, calls A, snapshots all announcements and
+// returns A's response together with the view.
+//
+// Lemma 7.2: A* implements the same object as A, preserves A's progress
+// condition (the added code is wait-free) and adds O(1) snapshot operations
+// per Apply.
+type DRV struct {
+	inner Implementation
+	n     int
+	ann   snapshot.Snapshot[*conslist.Node[Ann]]
+	// heads[p] is process p's own announce list; only process p reads and
+	// writes it (single-writer, like its snapshot entry).
+	heads []*conslist.Node[Ann]
+
+	// Tight-execution recording (Definition 7.5): when enabled, the announce
+	// Write and Snapshot steps are made atomic with the recording of an
+	// invocation/response event, so the recorded history is exactly the
+	// history of the associated tight execution T(E).
+	tightMu *sync.Mutex
+	tight   history.History
+}
+
+// Option configures a DRV.
+type Option func(*DRV)
+
+// WithSnapshot replaces the default Afek announce snapshot. The snapshot must
+// have at least n entries.
+func WithSnapshot(s snapshot.Snapshot[*conslist.Node[Ann]]) Option {
+	return func(d *DRV) { d.ann = s }
+}
+
+// WithTightRecording records the history of the tight execution associated
+// with the current execution (Definition 7.5): invocations at announce-Write
+// steps, responses at Snapshot steps. Recording serialises the two steps with
+// the event log, so it is meant for experiments and tests, not production.
+func WithTightRecording() Option {
+	return func(d *DRV) { d.tightMu = &sync.Mutex{} }
+}
+
+// NewDRV builds A* from A for n processes (Figure 7).
+func NewDRV(inner Implementation, n int, opts ...Option) *DRV {
+	d := &DRV{
+		inner: inner,
+		n:     n,
+		heads: make([]*conslist.Node[Ann], n),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	if d.ann == nil {
+		d.ann = snapshot.NewAfek[*conslist.Node[Ann]](n)
+	}
+	return d
+}
+
+// N returns the number of processes.
+func (d *DRV) N() int { return d.n }
+
+// Name identifies the wrapped implementation.
+func (d *DRV) Name() string { return d.inner.Name() + "*" }
+
+// Apply is operation Apply(op_i) of Figure 7. It returns A's response y_i and
+// the view λ_i. op.Uniq must be unique across the DRV's lifetime (§2 assumes
+// every operation input is used once).
+func (d *DRV) Apply(proc int, op spec.Operation) (spec.Response, View) {
+	// Lines 01–02: set_i ← set_i ∪ {(p_i, op_i)}; N.Write(set_i).
+	newHead := conslist.Push(d.heads[proc], Ann{Proc: proc, Op: op})
+	d.heads[proc] = newHead
+	if d.tightMu != nil {
+		d.tightMu.Lock()
+		d.ann.Update(proc, newHead)
+		d.tight = append(d.tight, history.Event{Kind: history.Invoke, Proc: proc, ID: op.Uniq, Op: op})
+		d.tightMu.Unlock()
+	} else {
+		d.ann.Update(proc, newHead)
+	}
+
+	// Lines 03–04: invoke Apply(op_i) of A and obtain y_i.
+	y := d.inner.Apply(proc, op)
+
+	// Lines 05–06: s_i ← N.Snapshot(); λ_i ← union of all entries.
+	var heads []*conslist.Node[Ann]
+	if d.tightMu != nil {
+		d.tightMu.Lock()
+		heads = d.ann.Scan(proc)
+		d.tight = append(d.tight, history.Event{Kind: history.Return, Proc: proc, ID: op.Uniq, Op: op, Res: y})
+		d.tightMu.Unlock()
+	} else {
+		heads = d.ann.Scan(proc)
+	}
+
+	// Line 07: return (y_i, λ_i).
+	return y, NewView(heads)
+}
+
+// TightHistory returns the recorded history of the tight execution T(E)
+// associated with the execution so far. It is empty unless the DRV was built
+// with WithTightRecording.
+func (d *DRV) TightHistory() history.History {
+	if d.tightMu == nil {
+		return nil
+	}
+	d.tightMu.Lock()
+	defer d.tightMu.Unlock()
+	out := make(history.History, len(d.tight))
+	copy(out, d.tight)
+	return out
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/genlin"
+	"repro/internal/history"
+	"repro/internal/impls"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// genlinLin returns the queue linearizability object.
+func genlinLin(t *testing.T) genlin.Object {
+	t.Helper()
+	return genlin.Linearizability(spec.Queue())
+}
+
+// runDRV drives a DRV with procs goroutines of random operations and returns
+// the outer recorded history E (of A*), the inner recorded history E|A, the
+// tight history T(E), and the tuples (op -> view/response).
+func runDRV(t *testing.T, model spec.Model, inner impls.Implementation, procs, opsPerProc int, seed int64) (
+	outer, innerH, tight history.History, tuples []Tuple) {
+	t.Helper()
+	innerRec := trace.NewRecorder()
+	instrumented := trace.Instrument(inner, innerRec)
+	drv := NewDRV(instrumented, procs, WithTightRecording())
+	outerRec := trace.NewRecorder()
+	var uniq trace.UniqSource
+	var mu sync.Mutex
+	var allTuples []Tuple
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen(model.Name(), seed*997+int64(p), &uniq)
+			for i := 0; i < opsPerProc; i++ {
+				op := gen.Next()
+				outerRec.Invoke(p, op)
+				y, view := drv.Apply(p, op)
+				outerRec.Return(p, op, y)
+				mu.Lock()
+				allTuples = append(allTuples, Tuple{Proc: p, Op: op, Res: y, View: view})
+				mu.Unlock()
+			}
+		}(p)
+	}
+	wg.Wait()
+	return outerRec.History(), innerRec.History(), drv.TightHistory(), allTuples
+}
+
+func TestDRVSequentialBehaviour(t *testing.T) {
+	drv := NewDRV(impls.NewMSQueue(), 1)
+	if drv.Name() != "ms-queue*" {
+		t.Fatalf("Name = %q", drv.Name())
+	}
+	y, view := drv.Apply(0, mkOp(spec.MethodEnq, 1, 1))
+	if y != spec.OKResp() {
+		t.Fatalf("Enq = %v", y)
+	}
+	if view.Size() != 1 || !view.ContainsAnn(0, mkOp(spec.MethodEnq, 1, 1)) {
+		t.Fatal("view must self-include the announcement")
+	}
+	y, view = drv.Apply(0, mkOp(spec.MethodDeq, 0, 2))
+	if y != spec.ValueResp(1) {
+		t.Fatalf("Deq = %v", y)
+	}
+	if view.Size() != 2 {
+		t.Fatalf("second view size = %d", view.Size())
+	}
+}
+
+// TestRemark72UnderConcurrency: views collected in live concurrent executions
+// must satisfy self-inclusion, containment comparability and process
+// sequentiality.
+func TestRemark72UnderConcurrency(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, _, _, tuples := runDRV(t, spec.Queue(), impls.NewMSQueue(), 3, 8, seed)
+		if err := ValidateViews(tuples); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestLemma73Chain: E|A ∈ O ⇒ T(E) ∈ O ⇒ E ∈ O, on both correct and faulty
+// implementations (contrapositive checked automatically: whenever the right
+// side fails, the left must fail too).
+func TestLemma73Chain(t *testing.T) {
+	mon := check.ForModel(spec.Queue())
+	contains := func(h history.History) bool { return mon.Check(h) == check.Yes }
+	builds := []func() impls.Implementation{
+		func() impls.Implementation { return impls.NewMSQueue() },
+		func() impls.Implementation { return impls.NewFaulty(impls.NewMSQueue(), impls.PhantomValue, 4, 3) },
+		func() impls.Implementation { return impls.NewFaulty(impls.NewMSQueue(), impls.DuplicateValue, 4, 5) },
+	}
+	for _, build := range builds {
+		for seed := int64(0); seed < 8; seed++ {
+			outer, innerH, tight, _ := runDRV(t, spec.Queue(), build(), 3, 6, seed)
+			inA := contains(innerH)
+			inT := contains(tight)
+			inE := contains(outer)
+			if inA && !inT {
+				t.Fatalf("seed %d: E|A ∈ O but T(E) ∉ O\nE|A:\n%s\nT:\n%s", seed, innerH.String(), tight.String())
+			}
+			if inT && !inE {
+				t.Fatalf("seed %d: T(E) ∈ O but E ∉ O\nT:\n%s\nE:\n%s", seed, tight.String(), outer.String())
+			}
+		}
+	}
+}
+
+// TestLemma74ViewsSketchTight: X built from the tuples of a tight execution
+// is the sketch of T(E): similar to T(E) (after removing announced-but-never-
+// observed pending invocations, which no tuple can testify about).
+func TestLemma74ViewsSketchTight(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		_, _, tight, tuples := runDRV(t, spec.Queue(), impls.NewMSQueue(), 3, 6, seed)
+		x, err := BuildHistory(tuples, 3)
+		if err != nil {
+			t.Fatalf("seed %d: BuildHistory: %v", seed, err)
+		}
+		// Ops visible in X.
+		inX := make(map[uint64]bool)
+		for _, o := range x.Ops() {
+			inX[o.ID] = true
+		}
+		// T(E) must be similar to X (unseen pendings are dropped by the
+		// similarity relation itself).
+		if !history.Similar(tight, x) {
+			t.Fatalf("seed %d: T(E) not similar to X(λ)\nT:\n%s\nX:\n%s", seed, tight.String(), x.String())
+		}
+		// And X must be similar to T(E) pruned to X's operations.
+		var pruned history.History
+		for _, e := range tight {
+			if inX[e.ID] {
+				pruned = append(pruned, e)
+			}
+		}
+		if !history.Similar(x, pruned) {
+			t.Fatalf("seed %d: X(λ) not similar to pruned T(E)\nX:\n%s\nT':\n%s", seed, x.String(), pruned.String())
+		}
+	}
+}
+
+// TestLemma72Preservation: with a correct A, every recorded history of A* is
+// correct; the DRV wrapper cannot break correctness.
+func TestLemma72Preservation(t *testing.T) {
+	models := []spec.Model{spec.Queue(), spec.Counter(), spec.Register(0)}
+	for _, m := range models {
+		mon := check.ForModel(m)
+		for seed := int64(0); seed < 5; seed++ {
+			outer, _, _, _ := runDRV(t, m, impls.ForModel(m), 3, 6, seed)
+			if mon.Check(outer) != check.Yes {
+				t.Fatalf("%s seed %d: A* history not linearizable with correct A:\n%s", m.Name(), seed, outer.String())
+			}
+		}
+	}
+}
+
+func TestTightHistoryDisabled(t *testing.T) {
+	drv := NewDRV(impls.NewMSQueue(), 1)
+	drv.Apply(0, mkOp(spec.MethodEnq, 1, 1))
+	if h := drv.TightHistory(); h != nil {
+		t.Fatalf("TightHistory without recording = %v", h)
+	}
+}
+
+// TestCertificatesGrowConsistently is the Lemma 8.2 flavour: successive
+// certificates of one verifier are consistent — operation sets only grow,
+// every certificate is well-formed, and with a correct implementation every
+// certificate is a member.
+func TestCertificatesGrowConsistently(t *testing.T) {
+	obj := genlinLin(t)
+	v := NewVerifier(NewDRV(impls.NewMSQueue(), 2), obj)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("queue", 3, &uniq)
+	var prevOps map[uint64]bool
+	for i := 0; i < 30; i++ {
+		if _, _, rep := v.Do(0, gen.Next()); rep != nil {
+			t.Fatalf("false error at op %d", i)
+		}
+		cert, err := v.Certify(0)
+		if err != nil {
+			t.Fatalf("Certify: %v", err)
+		}
+		if err := cert.Validate(); err != nil {
+			t.Fatalf("certificate ill-formed: %v", err)
+		}
+		if !obj.Contains(cert) {
+			t.Fatalf("certificate %d not a member:\n%s", i, cert.String())
+		}
+		cur := make(map[uint64]bool)
+		for _, o := range cert.Ops() {
+			cur[o.ID] = true
+		}
+		for id := range prevOps {
+			if !cur[id] {
+				t.Fatalf("certificate %d lost operation %d", i, id)
+			}
+		}
+		prevOps = cur
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"repro/internal/genlin"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Enforced is the self-enforced GenLin implementation V_{O,A} of Figure 11:
+// a drop-in replacement for A whose every non-ERROR response has been runtime
+// verified. Theorem 8.2: it has A's progress condition; if A is correct it
+// behaves exactly like A; if A is not correct, every execution is correct up
+// to a prefix after which every new operation returns ERROR with a witness.
+type Enforced struct {
+	v *Verifier
+}
+
+// NewEnforced builds V_{O,A} from an arbitrary implementation A for n
+// processes (Figure 11): A is wrapped into A* (Figure 7) and combined with
+// the predictive verifier (Figure 10).
+func NewEnforced(inner Implementation, n int, obj genlin.Object, drvOpts []Option, vOpts ...VerifierOption) *Enforced {
+	drv := NewDRV(inner, n, drvOpts...)
+	return &Enforced{v: NewVerifier(drv, obj, vOpts...)}
+}
+
+// NewEnforcedOver builds V_{O,A} over an existing verifier, sharing its A*
+// and snapshots.
+func NewEnforcedOver(v *Verifier) *Enforced { return &Enforced{v: v} }
+
+// N returns the number of processes.
+func (e *Enforced) N() int { return e.v.N() }
+
+// Name identifies the implementation.
+func (e *Enforced) Name() string { return e.v.drv.inner.Name() + "+self-enforced" }
+
+// Apply is operation Apply(op_i) of Figure 11. On success the report is nil
+// and the response is A's (runtime verified). On failure the response is the
+// zero Response and the report carries (ERROR, X(τ_i)), a certified witness
+// that A* is not correct with respect to O.
+func (e *Enforced) Apply(proc int, op spec.Operation) (spec.Response, *Report) {
+	y, _, rep := e.v.Do(proc, op)
+	if rep != nil {
+		return spec.Response{}, rep
+	}
+	return y, nil
+}
+
+// Certify returns a history similar to the implementation's current history
+// (Theorem 8.2(3)), usable as an accountability certificate (§8.3).
+func (e *Enforced) Certify(proc int) (history.History, error) {
+	return e.v.Certify(proc)
+}
+
+// Verifier exposes the underlying verifier, for experiments that inspect the
+// machinery.
+func (e *Enforced) Verifier() *Verifier { return e.v }

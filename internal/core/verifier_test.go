@@ -1,0 +1,367 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/genlin"
+	"repro/internal/impls"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// TestTheorem81SoundnessForCorrectA: with a correct A, no process ever
+// reports ERROR (Theorem 8.1(2)).
+func TestTheorem81SoundnessForCorrectA(t *testing.T) {
+	models := []spec.Model{spec.Queue(), spec.Counter(), spec.Register(0), spec.Stack()}
+	for _, m := range models {
+		for seed := int64(0); seed < 4; seed++ {
+			v := NewVerifier(NewDRV(impls.ForModel(m), 3), genlin.Linearizability(m))
+			var uniq trace.UniqSource
+			var wg sync.WaitGroup
+			for p := 0; p < 3; p++ {
+				wg.Add(1)
+				go func(p int) {
+					defer wg.Done()
+					gen := trace.NewOpGen(m.Name(), seed*31+int64(p), &uniq)
+					for i := 0; i < 8; i++ {
+						if _, _, rep := v.Do(p, gen.Next()); rep != nil {
+							t.Errorf("%s seed %d: false ERROR by p%d:\n%s", m.Name(), seed, rep.Proc+1, rep.Witness.String())
+							return
+						}
+					}
+				}(p)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+		}
+	}
+}
+
+// TestTheorem81CompletenessAndStability: with a faulty A, some process
+// reports ERROR with a genuine witness (completeness + predictive soundness),
+// and every later iteration keeps reporting (stability, Theorem 8.1(3)).
+func TestTheorem81CompletenessAndStability(t *testing.T) {
+	obj := genlin.Linearizability(spec.Queue())
+	faulty := impls.NewFaulty(impls.NewMSQueue(), impls.PhantomValue, 3, 11)
+	v := NewVerifier(NewDRV(faulty, 1), obj)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("queue", 5, &uniq)
+
+	var firstReport *Report
+	steps := 0
+	for firstReport == nil && steps < 200 {
+		_, _, rep := v.Do(0, gen.Next())
+		firstReport = rep
+		steps++
+	}
+	if firstReport == nil {
+		t.Fatal("no ERROR reported on faulty implementation")
+	}
+	// Predictive soundness: the witness certifies the violation.
+	if obj.Contains(firstReport.Witness) {
+		t.Fatalf("witness is a member of O, not a witness:\n%s", firstReport.Witness.String())
+	}
+	if err := firstReport.Witness.Validate(); err != nil {
+		t.Fatalf("witness ill-formed: %v", err)
+	}
+	// Stability.
+	for i := 0; i < 10; i++ {
+		if _, _, rep := v.Do(0, gen.Next()); rep == nil {
+			t.Fatalf("iteration %d after first ERROR did not report", i)
+		}
+	}
+}
+
+// TestEnforcedCorrectRun (Theorem 8.2): with a correct A, the self-enforced
+// implementation behaves like A — every response verified, never ERROR, and
+// Certify returns a member history.
+func TestEnforcedCorrectRun(t *testing.T) {
+	m := spec.Counter()
+	obj := genlin.Linearizability(m)
+	e := NewEnforced(impls.NewAtomicCounter(), 3, obj, nil)
+	if e.N() != 3 {
+		t.Fatalf("N = %d", e.N())
+	}
+	var uniq trace.UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen("counter", int64(p), &uniq)
+			for i := 0; i < 10; i++ {
+				if _, rep := e.Apply(p, gen.Next()); rep != nil {
+					t.Errorf("false ERROR:\n%s", rep.Witness.String())
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	cert, err := e.Certify(0)
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	if !obj.Contains(cert) {
+		t.Fatalf("certificate not a member:\n%s", cert.String())
+	}
+}
+
+// TestEnforcedFaultyRun: with a faulty A, eventually every operation returns
+// ERROR with a witness (Theorem 8.2(2)).
+func TestEnforcedFaultyRun(t *testing.T) {
+	obj := genlin.Linearizability(spec.Counter())
+	faulty := impls.NewFaulty(impls.NewAtomicCounter(), impls.StaleRead, 4, 9)
+	e := NewEnforced(faulty, 1, obj, nil)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("counter", 2, &uniq)
+	var gotError bool
+	for i := 0; i < 300 && !gotError; i++ {
+		_, rep := e.Apply(0, gen.Next())
+		gotError = rep != nil
+	}
+	if !gotError {
+		t.Fatal("faulty counter never produced ERROR")
+	}
+	for i := 0; i < 5; i++ {
+		if _, rep := e.Apply(0, gen.Next()); rep == nil {
+			t.Fatal("operation after ERROR did not return ERROR")
+		}
+	}
+	cert, err := e.Certify(0)
+	if err != nil {
+		t.Fatalf("Certify: %v", err)
+	}
+	if obj.Contains(cert) {
+		t.Fatal("certificate after violation must be a non-member witness")
+	}
+}
+
+// gate blocks chosen Apply calls until released, to construct the precise
+// interleavings of Figures 4 and 8.
+type gate struct {
+	inner   Implementation
+	blockOn func(proc int, op spec.Operation) bool
+	release chan struct{}
+}
+
+func (g *gate) Name() string { return g.inner.Name() + "+gate" }
+
+func (g *gate) Apply(proc int, op spec.Operation) spec.Response {
+	if g.blockOn(proc, op) {
+		<-g.release
+	}
+	return g.inner.Apply(proc, op)
+}
+
+// TestEnforcementFixesHistory reproduces Figure 8: A returns a value before
+// it was enqueued (adversarial queue), but because the enqueue was already
+// announced, the sketch overlaps the two operations and A* "fixes" the
+// history — no ERROR, and the client-visible history of A* is linearizable.
+func TestEnforcementFixesHistory(t *testing.T) {
+	adv := impls.NewAdversarialQueue()
+	g := &gate{
+		inner:   adv,
+		blockOn: func(proc int, op spec.Operation) bool { return op.Method == spec.MethodEnq },
+		release: make(chan struct{}),
+	}
+	obj := genlin.Linearizability(spec.Queue())
+	v := NewVerifier(NewDRV(g, 2), obj)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	enqStarted := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(enqStarted)
+		// p1 announces Enq(1) and then blocks inside A.
+		if _, _, rep := v.Do(0, mkOp(spec.MethodEnq, 1, 1)); rep != nil {
+			t.Errorf("p1 reported ERROR:\n%s", rep.Witness.String())
+		}
+	}()
+	<-enqStarted
+	time.Sleep(10 * time.Millisecond) // let p1 reach the gate after announcing
+	// p2 dequeues 1 from A although Enq(1) has not yet been applied to A.
+	_, _, rep := v.Do(1, mkOp(spec.MethodDeq, 0, 2))
+	if rep != nil {
+		t.Fatalf("p2 reported ERROR although A* fixed the history:\n%s", rep.Witness.String())
+	}
+	close(g.release)
+	wg.Wait()
+}
+
+// TestProgressPreservation: a process stalled inside A does not prevent the
+// others from completing verified operations (the verification layer is
+// wait-free; Theorem 8.2(1)).
+func TestProgressPreservation(t *testing.T) {
+	g := &gate{
+		inner:   impls.NewAtomicCounter(),
+		blockOn: func(proc int, op spec.Operation) bool { return proc == 0 },
+		release: make(chan struct{}),
+	}
+	obj := genlin.Linearizability(spec.Counter())
+	e := NewEnforced(g, 3, obj, nil)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		e.Apply(0, mkOp(spec.MethodInc, 0, 1)) // stalls inside A
+	}()
+
+	var uniq trace.UniqSource
+	uniq.Next() // reserve id 1 for the stalled op
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var inner sync.WaitGroup
+		for p := 1; p < 3; p++ {
+			inner.Add(1)
+			go func(p int) {
+				defer inner.Done()
+				gen := trace.NewOpGen("counter", int64(p), &uniq)
+				for i := 0; i < 10; i++ {
+					if _, rep := e.Apply(p, gen.Next()); rep != nil {
+						t.Errorf("false ERROR while p1 stalled:\n%s", rep.Witness.String())
+						return
+					}
+				}
+			}(p)
+		}
+		inner.Wait()
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("other processes blocked while p1 stalled inside A")
+	}
+	close(g.release)
+	wg.Wait()
+}
+
+// TestDecoupledDetects: producers keep returning, a verifier goroutine
+// eventually reports the violation (Figure 12, §9.2).
+func TestDecoupledDetects(t *testing.T) {
+	obj := genlin.Linearizability(spec.Queue())
+	faulty := impls.NewFaulty(impls.NewMSQueue(), impls.PhantomValue, 2, 13)
+	reports := make(chan Report, 1)
+	d := NewDecoupled(faulty, 2, 2, obj, func(r Report) {
+		select {
+		case reports <- r:
+		default:
+		}
+	})
+	defer d.Close()
+
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("queue", 3, &uniq)
+	deadline := time.After(10 * time.Second)
+	for i := 0; i < 500; i++ {
+		d.Apply(i%2, gen.Next())
+		select {
+		case r := <-reports:
+			if obj.Contains(r.Witness) {
+				t.Fatalf("decoupled witness is a member:\n%s", r.Witness.String())
+			}
+			return
+		case <-deadline:
+			t.Fatal("decoupled verifier timed out")
+		default:
+		}
+	}
+	// Give the verifiers a final chance after producers stop.
+	select {
+	case r := <-reports:
+		if obj.Contains(r.Witness) {
+			t.Fatalf("decoupled witness is a member:\n%s", r.Witness.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("no report despite faulty producer run")
+	}
+}
+
+// TestDecoupledCleanOnCorrect: no reports for a correct implementation, and
+// Close terminates the verifier goroutines.
+func TestDecoupledCleanOnCorrect(t *testing.T) {
+	obj := genlin.Linearizability(spec.Counter())
+	var mu sync.Mutex
+	var got []Report
+	d := NewDecoupled(impls.NewAtomicCounter(), 2, 1, obj, func(r Report) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	var uniq trace.UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen("counter", int64(p), &uniq)
+			for i := 0; i < 20; i++ {
+				d.Apply(p, gen.Next())
+			}
+		}(p)
+	}
+	wg.Wait()
+	d.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 0 {
+		t.Fatalf("unexpected reports on correct run: %d, first witness:\n%s", len(got), got[0].Witness.String())
+	}
+}
+
+func TestEnforcedName(t *testing.T) {
+	e := NewEnforced(impls.NewMSQueue(), 2, genlin.Linearizability(spec.Queue()), nil)
+	if e.Name() != "ms-queue+self-enforced" {
+		t.Fatalf("Name = %q", e.Name())
+	}
+	if e.Verifier() == nil || e.Verifier().N() != 2 || e.Verifier().Object() == nil {
+		t.Fatal("verifier accessors broken")
+	}
+}
+
+func TestRunProcLoop(t *testing.T) {
+	v := NewVerifier(NewDRV(impls.NewAtomicCounter(), 2), genlin.Linearizability(spec.Counter()))
+	stop := make(chan struct{})
+	var uniq trace.UniqSource
+	var reports atomic.Int64
+	var wg sync.WaitGroup
+	for p := 0; p < 2; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen("counter", int64(p), &uniq)
+			v.RunProc(p, stop, gen.Next, func(Report) { reports.Add(1) })
+		}(p)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if reports.Load() != 0 {
+		t.Fatalf("false reports: %d", reports.Load())
+	}
+}
+
+func TestDecoupledMultipleVerifiers(t *testing.T) {
+	obj := genlin.Linearizability(spec.Counter())
+	var reports atomic.Int64
+	d := NewDecoupled(impls.NewFaulty(impls.NewAtomicCounter(), impls.StaleRead, 2, 3), 1, 3, obj,
+		func(Report) { reports.Add(1) })
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen("counter", 5, &uniq)
+	deadline := time.Now().Add(10 * time.Second)
+	for reports.Load() == 0 && time.Now().Before(deadline) {
+		d.Apply(0, gen.Next())
+	}
+	d.Close()
+	if reports.Load() == 0 {
+		t.Fatal("no verifier detected the fault")
+	}
+}

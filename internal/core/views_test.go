@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/conslist"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// mkOp builds an operation with an explicit unique id.
+func mkOp(method string, arg int64, uniq uint64) spec.Operation {
+	return spec.Operation{Method: method, Arg: arg, Uniq: uniq}
+}
+
+// viewOf builds a View over n processes from explicit per-process announce
+// prefixes: anns[p] lists the announcements of process p included in the view
+// (oldest first).
+func viewOf(n int, anns [][]spec.Operation) View {
+	heads := make([]*conslist.Node[Ann], n)
+	for p := 0; p < n; p++ {
+		for _, op := range anns[p] {
+			heads[p] = conslist.Push(heads[p], Ann{Proc: p, Op: op})
+		}
+	}
+	return NewView(heads)
+}
+
+func TestViewBasics(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	op2 := mkOp(spec.MethodEnq, 2, 2)
+	v := viewOf(2, [][]spec.Operation{{op1}, {op2}})
+	if v.Size() != 2 {
+		t.Fatalf("Size = %d", v.Size())
+	}
+	if !v.ContainsAnn(0, op1) || !v.ContainsAnn(1, op2) {
+		t.Fatal("ContainsAnn missing announced ops")
+	}
+	if v.ContainsAnn(0, op2) || v.ContainsAnn(5, op1) {
+		t.Fatal("ContainsAnn claims unannounced ops")
+	}
+	small := viewOf(2, [][]spec.Operation{{op1}, nil})
+	if !small.LeqOf(v) || v.LeqOf(small) {
+		t.Fatal("containment comparison wrong")
+	}
+	if !v.Equal(v) || v.Equal(small) {
+		t.Fatal("equality wrong")
+	}
+}
+
+// TestFig9Exact reproduces Figure 9 literally: three processes, four
+// operations, the views drawn in the figure, and the X(λ_E) reconstruction,
+// which must be the tight history drawn at the top of the figure.
+func TestFig9Exact(t *testing.T) {
+	// p1 executes op1 then op1'; p2 executes op2 (pending); p3 executes op3.
+	op1 := mkOp(spec.MethodEnq, 1, 1)  // Apply(op1) : a
+	op1p := mkOp(spec.MethodEnq, 2, 2) // Apply(op1') : b
+	op2 := mkOp(spec.MethodEnq, 3, 3)  // Apply(op2) : c (pending, no tuple)
+	op3 := mkOp(spec.MethodEnq, 4, 4)  // Apply(op3) : d
+	a, b, d := spec.ValueResp(10), spec.ValueResp(11), spec.ValueResp(13)
+
+	view := viewOf(3, [][]spec.Operation{{op1}, nil, nil})
+	viewP := viewOf(3, [][]spec.Operation{{op1, op1p}, {op2}, nil})
+	viewPP := viewOf(3, [][]spec.Operation{{op1, op1p}, {op2}, {op3}})
+
+	// λ_E = {(p1,op1,a,view), (p1,op1',b,view'), (p3,op3,d,view'')}.
+	tuples := []Tuple{
+		{Proc: 0, Op: op1, Res: a, View: view},
+		{Proc: 0, Op: op1p, Res: b, View: viewP},
+		{Proc: 2, Op: op3, Res: d, View: viewPP},
+	}
+	if err := ValidateViews(tuples); err != nil {
+		t.Fatalf("figure views must satisfy Remark 7.2: %v", err)
+	}
+	x, err := BuildHistory(tuples, 3)
+	if err != nil {
+		t.Fatalf("BuildHistory: %v", err)
+	}
+	want := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: op1},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: op1, Res: a},
+		{Kind: history.Invoke, Proc: 0, ID: 2, Op: op1p},
+		{Kind: history.Invoke, Proc: 1, ID: 3, Op: op2},
+		{Kind: history.Return, Proc: 0, ID: 2, Op: op1p, Res: b},
+		{Kind: history.Invoke, Proc: 2, ID: 4, Op: op3},
+		{Kind: history.Return, Proc: 2, ID: 4, Op: op3, Res: d},
+	}
+	if len(x) != len(want) {
+		t.Fatalf("X(λ_E) has %d events, want %d:\n%s", len(x), len(want), x.String())
+	}
+	for i := range want {
+		if x[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v\nfull:\n%s", i, x[i], want[i], x.String())
+		}
+	}
+	// Lemma 7.4 on the figure: X(λ_E) is equivalent to E with ≺ preserved,
+	// hence similar in both directions.
+	if !history.Similar(x, want) || !history.Similar(want, x) {
+		t.Fatal("X(λ_E) must be similar to the drawn tight history in both directions")
+	}
+}
+
+func TestValidateViewsSelfInclusion(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	op2 := mkOp(spec.MethodEnq, 2, 2)
+	// op2's tuple has a view lacking its own announcement.
+	v := viewOf(2, [][]spec.Operation{{op1}, nil})
+	tuples := []Tuple{{Proc: 1, Op: op2, Res: spec.OKResp(), View: v}}
+	if err := ValidateViews(tuples); err == nil {
+		t.Fatal("self-inclusion violation not detected")
+	}
+}
+
+func TestValidateViewsComparability(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	op2 := mkOp(spec.MethodEnq, 2, 2)
+	vA := viewOf(2, [][]spec.Operation{{op1}, nil})
+	vB := viewOf(2, [][]spec.Operation{nil, {op2}})
+	tuples := []Tuple{
+		{Proc: 0, Op: op1, Res: spec.OKResp(), View: vA},
+		{Proc: 1, Op: op2, Res: spec.OKResp(), View: vB},
+	}
+	if err := ValidateViews(tuples); err == nil {
+		t.Fatal("incomparable views not detected")
+	}
+	if _, err := BuildHistory(tuples, 2); err == nil {
+		t.Fatal("BuildHistory must reject incomparable views")
+	}
+}
+
+func TestValidateViewsProcessSequentiality(t *testing.T) {
+	opA := mkOp(spec.MethodEnq, 1, 1)
+	opB := mkOp(spec.MethodEnq, 2, 2)
+	both := viewOf(1, [][]spec.Operation{{opA, opB}})
+	tuples := []Tuple{
+		{Proc: 0, Op: opA, Res: spec.OKResp(), View: both},
+		{Proc: 0, Op: opB, Res: spec.OKResp(), View: both},
+	}
+	if err := ValidateViews(tuples); err == nil {
+		t.Fatal("process sequentiality violation not detected")
+	}
+}
+
+func TestBuildHistoryEmpty(t *testing.T) {
+	h, err := BuildHistory(nil, 3)
+	if err != nil || len(h) != 0 {
+		t.Fatalf("BuildHistory(nil) = %v, %v", h, err)
+	}
+}
+
+func TestBuildHistoryDeduplicates(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	v := viewOf(1, [][]spec.Operation{{op1}})
+	tup := Tuple{Proc: 0, Op: op1, Res: spec.OKResp(), View: v}
+	h, err := BuildHistory([]Tuple{tup, tup, tup}, 1)
+	if err != nil {
+		t.Fatalf("BuildHistory: %v", err)
+	}
+	if len(h) != 2 {
+		t.Fatalf("deduplication failed: %d events\n%s", len(h), h.String())
+	}
+}
+
+// TestBuildHistoryPendingOnly: announcements visible in views but without
+// tuples appear as pending invocations.
+func TestBuildHistoryPendingOnly(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	op2 := mkOp(spec.MethodEnq, 2, 2)
+	v := viewOf(2, [][]spec.Operation{{op1}, {op2}})
+	tuples := []Tuple{{Proc: 0, Op: op1, Res: spec.OKResp(), View: v}}
+	h, err := BuildHistory(tuples, 2)
+	if err != nil {
+		t.Fatalf("BuildHistory: %v", err)
+	}
+	pend := h.Pending()
+	if len(pend) != 1 || pend[0].Proc != 1 {
+		t.Fatalf("expected op2 pending, got %+v\n%s", pend, h.String())
+	}
+}
+
+func TestBuildHistoryArityMismatch(t *testing.T) {
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	v := viewOf(2, [][]spec.Operation{{op1}, nil})
+	tuples := []Tuple{{Proc: 0, Op: op1, Res: spec.OKResp(), View: v}}
+	if _, err := BuildHistory(tuples, 5); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+func TestBuildHistoryMissingSelfInclusion(t *testing.T) {
+	// A tuple whose own announcement is not in its view yields an ill-formed
+	// reconstruction (a response without invocation) and must error.
+	op1 := mkOp(spec.MethodEnq, 1, 1)
+	op2 := mkOp(spec.MethodEnq, 2, 2)
+	onlyOp1 := viewOf(2, [][]spec.Operation{{op1}, nil})
+	tuples := []Tuple{
+		{Proc: 0, Op: op1, Res: spec.OKResp(), View: onlyOp1},
+		{Proc: 1, Op: op2, Res: spec.OKResp(), View: onlyOp1},
+	}
+	if _, err := BuildHistory(tuples, 2); err == nil {
+		t.Fatal("missing self-inclusion accepted")
+	}
+}
+
+func TestViewLeqArityMismatch(t *testing.T) {
+	a := viewOf(2, [][]spec.Operation{nil, nil})
+	b := viewOf(3, [][]spec.Operation{nil, nil, nil})
+	if a.LeqOf(b) || b.LeqOf(a) {
+		t.Fatal("views over different arities must be incomparable")
+	}
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// ViewsError reports a violation of the view properties of Remark 7.2. It
+// cannot arise from tuples produced by a DRV implementation over a
+// linearizable snapshot; seeing one means the input tuples were corrupted.
+type ViewsError struct {
+	Reason string
+}
+
+func (e *ViewsError) Error() string { return "views violation: " + e.Reason }
+
+// ValidateViews checks the three properties of Remark 7.2 on a set of tuples:
+// self-inclusion, containment comparability, and process sequentiality.
+func ValidateViews(tuples []Tuple) error {
+	for i, t := range tuples {
+		if !t.View.ContainsAnn(t.Proc, t.Op) {
+			return &ViewsError{Reason: fmt.Sprintf("tuple %d (%s by p%d) lacks self-inclusion", i, t.Op, t.Proc+1)}
+		}
+	}
+	for i := range tuples {
+		for j := i + 1; j < len(tuples); j++ {
+			vi, vj := tuples[i].View, tuples[j].View
+			if !vi.LeqOf(vj) && !vj.LeqOf(vi) {
+				return &ViewsError{Reason: fmt.Sprintf("views of tuples %d and %d are incomparable", i, j)}
+			}
+			ti, tj := tuples[i], tuples[j]
+			if ti.Proc == tj.Proc && ti.Op.Uniq != tj.Op.Uniq {
+				if ti.View.ContainsAnn(tj.Proc, tj.Op) && tj.View.ContainsAnn(ti.Proc, ti.Op) {
+					return &ViewsError{Reason: fmt.Sprintf("process sequentiality violated by tuples %d and %d", i, j)}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// BuildHistory constructs the history X(τ) of §7.3.3 from a set of 4-tuples:
+// distinct views are ordered by containment; for each view σ_k, the
+// invocations of the pairs in σ_k \ σ_{k-1} are appended, then the responses
+// of the tuples whose view is σ_k. Within a batch the order is immaterial
+// (all choices are similar to one another, Claim 7.1); we use ascending
+// process index for determinism.
+//
+// Tuples are deduplicated by operation identity (op.Uniq): the verifier's
+// union of per-process result sets naturally contains copies.
+func BuildHistory(tuples []Tuple, n int) (history.History, error) {
+	// Deduplicate.
+	seen := make(map[uint64]bool, len(tuples))
+	uniq := make([]Tuple, 0, len(tuples))
+	for _, t := range tuples {
+		if seen[t.Op.Uniq] {
+			continue
+		}
+		seen[t.Op.Uniq] = true
+		uniq = append(uniq, t)
+	}
+	if len(uniq) == 0 {
+		return nil, nil
+	}
+
+	// Collect distinct views and order them by containment.
+	type viewGroup struct {
+		view   View
+		tuples []Tuple
+	}
+	groups := make(map[string]*viewGroup)
+	keyOf := func(v View) string {
+		b := make([]byte, 0, 4*len(v.Counts()))
+		for _, c := range v.Counts() {
+			b = append(b, byte(c), byte(c>>8), byte(c>>16), byte(c>>24))
+		}
+		return string(b)
+	}
+	for _, t := range uniq {
+		k := keyOf(t.View)
+		if g, ok := groups[k]; ok {
+			g.tuples = append(g.tuples, t)
+		} else {
+			groups[k] = &viewGroup{view: t.View, tuples: []Tuple{t}}
+		}
+	}
+	ordered := make([]*viewGroup, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].view.Size() < ordered[j].view.Size() })
+	for i := 1; i < len(ordered); i++ {
+		if !ordered[i-1].view.LeqOf(ordered[i].view) {
+			return nil, &ViewsError{Reason: "distinct views are not totally ordered by containment"}
+		}
+	}
+
+	// Emit the history.
+	var h history.History
+	prev := make([]int, n)
+	for _, g := range ordered {
+		counts := g.view.Counts()
+		if len(counts) != n {
+			return nil, &ViewsError{Reason: "view arity mismatch"}
+		}
+		for p := 0; p < n; p++ {
+			for _, ann := range g.view.annsSince(p, prev[p]) {
+				h = append(h, history.Event{Kind: history.Invoke, Proc: ann.Proc, ID: ann.Op.Uniq, Op: ann.Op})
+			}
+			prev[p] = counts[p]
+		}
+		resps := make([]Tuple, len(g.tuples))
+		copy(resps, g.tuples)
+		sort.Slice(resps, func(i, j int) bool {
+			if resps[i].Proc != resps[j].Proc {
+				return resps[i].Proc < resps[j].Proc
+			}
+			return resps[i].Op.Uniq < resps[j].Op.Uniq
+		})
+		for _, t := range resps {
+			h = append(h, history.Event{Kind: history.Return, Proc: t.Proc, ID: t.Op.Uniq, Op: t.Op, Res: t.Res})
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, &ViewsError{Reason: "reconstructed history ill-formed: " + err.Error()}
+	}
+	return h, nil
+}
+
+// TuplesOf extracts the 4-tuples (p, op, y, λ) of the completed operations of
+// a tight history paired with their recorded views. It is a convenience for
+// tests reproducing Figure 9: given the tight history recorded by a DRV and
+// the per-operation views, it assembles λ_E.
+func TuplesOf(tight history.History, views map[uint64]View, results map[uint64]spec.Response) []Tuple {
+	var out []Tuple
+	for _, o := range tight.Ops() {
+		if !o.Complete {
+			continue
+		}
+		v, okV := views[o.ID]
+		if !okV {
+			continue
+		}
+		res, okR := results[o.ID]
+		if !okR {
+			res = o.Res
+		}
+		out = append(out, Tuple{Proc: o.Proc, Op: o.Op, Res: res, View: v})
+	}
+	return out
+}

@@ -1,0 +1,42 @@
+// Package exp implements the paper's figures and theorems as executable
+// experiments (the per-experiment index lives in DESIGN.md §3). Each
+// experiment returns rows of paper-claim vs measured-outcome; cmd/experiments
+// prints them and EXPERIMENTS.md records them.
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Row is one line of an experiment report.
+type Row struct {
+	ID       string // experiment id, e.g. "E3"
+	Name     string // short description
+	Paper    string // the paper's claim
+	Measured string // what this run measured
+	Pass     bool   // whether the measurement matches the claim
+}
+
+// Format renders rows as an aligned table.
+func Format(rows []Row) string {
+	var b strings.Builder
+	for _, r := range rows {
+		status := "ok "
+		if !r.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-4s %-4s %-38s paper: %-46s measured: %s\n", status, r.ID, r.Name, r.Paper, r.Measured)
+	}
+	return b.String()
+}
+
+// AllPass reports whether every row passed.
+func AllPass(rows []Row) bool {
+	for _, r := range rows {
+		if !r.Pass {
+			return false
+		}
+	}
+	return true
+}

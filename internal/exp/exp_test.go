@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func assertPass(t *testing.T, rows []Row) {
+	t.Helper()
+	if len(rows) == 0 {
+		t.Fatal("experiment produced no rows")
+	}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("%s %s: paper %q, measured %q", r.ID, r.Name, r.Paper, r.Measured)
+		}
+	}
+}
+
+func TestFig1(t *testing.T)  { assertPass(t, Fig1()) }
+func TestFig3(t *testing.T)  { assertPass(t, Fig3()) }
+func TestFig4(t *testing.T)  { assertPass(t, Fig4()) }
+func TestFig5(t *testing.T)  { assertPass(t, Fig5([]int{0, 2, 8}, 120)) }
+func TestFig6(t *testing.T)  { assertPass(t, Fig6(12)) }
+func TestFig8(t *testing.T)  { assertPass(t, Fig8(20)) }
+func TestThm81(t *testing.T) { assertPass(t, Thm81(2)) }
+
+func TestStability(t *testing.T) { assertPass(t, Stability()) }
+func TestDecoupled(t *testing.T) { assertPass(t, Decoupled()) }
+func TestProgress(t *testing.T)  { assertPass(t, Progress()) }
+func TestTask(t *testing.T)      { assertPass(t, Task()) }
+func TestABD(t *testing.T)       { assertPass(t, ABD()) }
+
+func TestSetLin(t *testing.T)      { assertPass(t, SetLin(3)) }
+func TestIntervalLin(t *testing.T) { assertPass(t, IntervalLin(3)) }
+func TestCrash(t *testing.T)       { assertPass(t, Crash(2)) }
+
+func TestStepComplexity(t *testing.T) { assertPass(t, StepComplexity([]int{2, 4, 8})) }
+func TestProducerSteps(t *testing.T)  { assertPass(t, DecoupledProducerSteps(16)) }
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"fig1", "fig3"} {
+		rows, ok := ByName(name)
+		if !ok || len(rows) == 0 {
+			t.Fatalf("ByName(%q) failed", name)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown experiment accepted")
+	}
+	if len(Names()) != 17 {
+		t.Fatalf("Names = %v", Names())
+	}
+}
+
+func TestFormat(t *testing.T) {
+	rows := []Row{{ID: "E0", Name: "demo", Paper: "claim", Measured: "value", Pass: true},
+		{ID: "E0", Name: "demo2", Paper: "claim", Measured: "value", Pass: false}}
+	s := Format(rows)
+	if !strings.Contains(s, "ok ") || !strings.Contains(s, "FAIL") {
+		t.Fatalf("Format output:\n%s", s)
+	}
+	if AllPass(rows) {
+		t.Fatal("AllPass must be false")
+	}
+	if !AllPass(rows[:1]) {
+		t.Fatal("AllPass must be true")
+	}
+}

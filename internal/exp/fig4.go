@@ -1,0 +1,192 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/impls"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// fig4Trace is what one run of the Figure 4 construction produces.
+type fig4Trace struct {
+	// decisions[p] is the sequence of P_O verdicts process p computed in its
+	// Line 10 tests, together with the detected history it tested — the
+	// complete observable local state of the verifier's decision step.
+	decisions [][]string
+	// actual is the real-time history of A (invocations and responses of A
+	// ordered by their local-event steps), which the processes cannot see.
+	actual history.History
+	// responses[p] lists the responses process p obtained from A.
+	responses [][]spec.Response
+}
+
+// runFig4 executes the generic verifier of Figure 2 over the implementation A
+// from the proof of Theorem 5.1, under one of the two schedules of Figure 4.
+// iterations counts while-loop iterations per process. A is any queue-shaped
+// implementation (the adversarial one for the main argument, a correct one
+// for the Theorem A.1 variant).
+func runFig4(a interface {
+	Apply(int, spec.Operation) spec.Response
+}, schedule []int, iterations int) fig4Trace {
+	const n = 2
+	s := sim.New()
+	var mem history.History // the shared memory M: encoded events, append-only
+	tr := fig4Trace{decisions: make([][]string, n), responses: make([][]spec.Response, n)}
+	var uniq uint64
+
+	for p := 0; p < n; p++ {
+		p := p
+		s.Spawn("verifier", func(e *sim.Env) {
+			for it := 0; it < iterations; it++ {
+				// Line 03: pick the next operation, as in the proof: p1's
+				// first operation is Enqueue(1); everything else is Dequeue.
+				var op spec.Operation
+				e.Step(func() {
+					uniq++
+					if p == 0 && it == 0 {
+						op = spec.Operation{Method: spec.MethodEnq, Arg: 1, Uniq: uniq}
+					} else {
+						op = spec.Operation{Method: spec.MethodDeq, Uniq: uniq}
+					}
+					// Line 05: encode the upcoming invocation in M.
+					mem = append(mem, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+				})
+				// Lines 06-07: invoke A and obtain the response — local
+				// events of p, invisible to the other process. The actual
+				// history of A is defined by the order of these steps.
+				var resp spec.Response
+				e.Step(func() {
+					tr.actual = append(tr.actual, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+					resp = a.Apply(p, op)
+					tr.actual = append(tr.actual, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: resp})
+					tr.responses[p] = append(tr.responses[p], resp)
+				})
+				// Line 08: encode the response in M.
+				e.Step(func() {
+					mem = append(mem, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: resp})
+				})
+				// Lines 09-12: read M, reconstruct the detected history and
+				// test P_O. The verdict plus the detected history is the
+				// complete local information the decision rests on.
+				e.Step(func() {
+					detected := make(history.History, len(mem))
+					copy(detected, mem)
+					verdict := check.IsLinearizable(spec.Queue(), detected)
+					tr.decisions[p] = append(tr.decisions[p],
+						fmt.Sprintf("lin=%v detected=%q", verdict, detected.String()))
+				})
+			}
+		})
+	}
+	s.Run(&sim.Script{Order: schedule}, 1_000_000)
+	s.Stop()
+	return tr
+}
+
+// fig4Schedules returns the schedules of executions E and F (Figure 4) for
+// two processes with 4 steps per loop iteration: in E, p2's Lines 06-07 step
+// precedes p1's; in F they are swapped. Both then run `tail` extra full
+// iterations alternately.
+func fig4Schedules(tail int) (scheduleE, scheduleF []int) {
+	// Steps per iteration: announce(1), invoke(2), encode(3), decide(4).
+	e := []int{
+		1,    // p2 announce
+		0,    // p1 announce
+		1,    // p2 invokes A: Deq -> 1   (first!)
+		0,    // p1 invokes A: Enq(1)
+		1, 1, // p2 encode + decide
+		0, 0, // p1 encode + decide
+	}
+	f := []int{
+		1,
+		0,
+		0, // p1 invokes A first: Enq(1)
+		1, // p2 invokes A: Deq -> 1 (still 1: A is defined by process, not order)
+		1, 1,
+		0, 0,
+	}
+	for k := 0; k < tail; k++ {
+		p := k % 2
+		e = append(e, p, p, p, p)
+		f = append(f, p, p, p, p)
+	}
+	return e, f
+}
+
+// Fig4 mechanises Theorem 5.1 (and Theorem A.1): it runs the generic
+// verifier over the adversarial queue under the two schedules of Figure 4 and
+// checks that (1) every process goes through identical decision-relevant
+// local states in both executions, (2) the actual history of A in E is not
+// linearizable while in F it is, and (3) execution F is also produced, with
+// identical responses, by a correct queue implementation — so no verifier can
+// be simultaneously sound and complete, nor even predictively sound and
+// complete.
+func Fig4() []Row {
+	const iterations = 2
+	schedE, schedF := fig4Schedules(2)
+
+	trE := runFig4(impls.NewAdversarialQueue(), schedE, iterations)
+	trF := runFig4(impls.NewAdversarialQueue(), schedF, iterations)
+
+	identical := len(trE.decisions) == len(trF.decisions)
+	for p := 0; identical && p < len(trE.decisions); p++ {
+		if len(trE.decisions[p]) != len(trF.decisions[p]) {
+			identical = false
+			break
+		}
+		for i := range trE.decisions[p] {
+			if trE.decisions[p][i] != trF.decisions[p][i] {
+				identical = false
+			}
+		}
+	}
+
+	actualELin := check.IsLinearizable(spec.Queue(), trE.actual)
+	actualFLin := check.IsLinearizable(spec.Queue(), trF.actual)
+
+	// Theorem A.1: a correct (locked) queue under schedule F produces the
+	// same responses, so F has no witness.
+	trFCorrect := runFig4(impls.NewSeqLock(spec.Queue()), schedF, iterations)
+	sameResponses := true
+	for p := range trF.responses {
+		if len(trF.responses[p]) != len(trFCorrect.responses[p]) {
+			sameResponses = false
+			break
+		}
+		for i := range trF.responses[p] {
+			if trF.responses[p][i] != trFCorrect.responses[p][i] {
+				sameResponses = false
+			}
+		}
+	}
+
+	return []Row{
+		{
+			ID: "E3", Name: "Fig 4: indistinguishability",
+			Paper:    "E and F indistinguishable to all processes",
+			Measured: fmt.Sprintf("identical decision states: %v", identical),
+			Pass:     identical,
+		},
+		{
+			ID: "E3", Name: "Fig 4: actual history of E",
+			Paper:    "E's history of A is not linearizable",
+			Measured: fmt.Sprintf("linearizable=%v", actualELin),
+			Pass:     !actualELin,
+		},
+		{
+			ID: "E3", Name: "Fig 4: actual history of F",
+			Paper:    "F's history of A is linearizable",
+			Measured: fmt.Sprintf("linearizable=%v", actualFLin),
+			Pass:     actualFLin,
+		},
+		{
+			ID: "E3", Name: "Thm A.1: F from a correct queue",
+			Paper:    "a correct queue also produces F",
+			Measured: fmt.Sprintf("same responses under schedule F: %v", sameResponses),
+			Pass:     sameResponses,
+		},
+	}
+}

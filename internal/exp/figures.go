@@ -1,0 +1,163 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/impls"
+	"repro/internal/sim"
+	"repro/internal/spec"
+)
+
+// Fig1 reproduces Figure 1: two stack executions with identical per-process
+// views, one linearizable and one not — real time, inaccessible to the
+// processes, is what separates them.
+func Fig1() []Row {
+	top := history.NewBuilder().
+		Inv(0, spec.MethodPush, 1).
+		Inv(1, spec.MethodPop, 0).
+		Ret(0, spec.BoolResp(true)).
+		Ret(1, spec.ValueResp(1)).
+		History()
+	// Bottom: the same operations, but Pop():1 completes before Push(1)
+	// starts — reorder the very same events so the operation identities (and
+	// hence the processes' partial views) are identical.
+	bottom := history.History{top[1], top[3], top[0], top[2]}
+	topLin := check.IsLinearizable(spec.Stack(), top)
+	bottomLin := check.IsLinearizable(spec.Stack(), bottom)
+	equivalent := history.Equivalent(top, bottom)
+	return []Row{
+		{ID: "E1", Name: "Fig 1: overlapping execution", Paper: "top execution linearizable",
+			Measured: fmt.Sprintf("linearizable=%v", topLin), Pass: topLin},
+		{ID: "E1", Name: "Fig 1: pop-before-push execution", Paper: "bottom execution not linearizable",
+			Measured: fmt.Sprintf("linearizable=%v", bottomLin), Pass: !bottomLin},
+		{ID: "E1", Name: "Fig 1: same partial views", Paper: "executions equivalent to the processes",
+			Measured: fmt.Sprintf("equivalent=%v", equivalent), Pass: equivalent},
+	}
+}
+
+// Fig3 reproduces Figure 3's two 3-process stack histories.
+func Fig3() []Row {
+	top := history.NewBuilder().
+		Inv(0, spec.MethodPush, 1).
+		Inv(1, spec.MethodPush, 2).
+		Ret(1, spec.BoolResp(true)).
+		Inv(1, spec.MethodPop, 0).
+		Ret(0, spec.BoolResp(true)).
+		Inv(2, spec.MethodPop, 0).
+		Ret(2, spec.ValueResp(1)).
+		Ret(1, spec.ValueResp(2)).
+		History()
+	bottom := history.NewBuilder().
+		Inv(0, spec.MethodPush, 1).
+		Inv(1, spec.MethodPush, 2).
+		Ret(1, spec.BoolResp(true)).
+		Inv(1, spec.MethodPop, 0).
+		Ret(0, spec.BoolResp(true)).
+		Inv(2, spec.MethodPop, 0).
+		Ret(2, spec.EmptyResp()).
+		Ret(1, spec.ValueResp(1)).
+		History()
+	r := check.Linearizable(spec.Stack(), top)
+	bottomLin := check.IsLinearizable(spec.Stack(), bottom)
+	witnessOK := r.Ok && check.ReplaySequential(spec.Stack(), top, r.Linearization)
+	return []Row{
+		{ID: "E2", Name: "Fig 3: top history", Paper: "linearizable (Push(2),Push(1),Pop:1,Pop:2)",
+			Measured: fmt.Sprintf("linearizable=%v verified-witness=%v", r.Ok, witnessOK), Pass: witnessOK},
+		{ID: "E2", Name: "Fig 3: bottom history", Paper: "not linearizable (stack non-empty at Pop:empty)",
+			Measured: fmt.Sprintf("linearizable=%v", bottomLin), Pass: !bottomLin},
+	}
+}
+
+// Fig5 quantifies the "stretching" phenomenon of Figure 5: the generic
+// verifier detects a history whose operations span from the announce step to
+// the response-encode step; as the delay between announcing and invoking
+// grows, more non-linearizable actual histories are detected as linearizable.
+// Returns one row per delay value with the miss probability.
+func Fig5(delays []int, runs int) []Row {
+	rows := make([]Row, 0, len(delays))
+	prevMiss := -1.0
+	for _, d := range delays {
+		nonLin, missed := 0, 0
+		for r := 0; r < runs; r++ {
+			actual, detected := runStretch(d, int64(r))
+			aLin := check.IsLinearizable(spec.Queue(), actual)
+			dLin := check.IsLinearizable(spec.Queue(), detected)
+			if aLin && !dLin {
+				// The detected history only stretches intervals, so it can
+				// never invent a violation (soundness direction of §6).
+				return []Row{{ID: "E4", Name: "Fig 5: stretch soundness",
+					Paper: "actual lin => detected lin", Measured: "violated", Pass: false}}
+			}
+			if !aLin {
+				nonLin++
+				if dLin {
+					missed++
+				}
+			}
+		}
+		miss := 0.0
+		if nonLin > 0 {
+			miss = float64(missed) / float64(nonLin)
+		}
+		rows = append(rows, Row{
+			ID:    "E4",
+			Name:  fmt.Sprintf("Fig 5: delay=%d", d),
+			Paper: "missed violations grow with delay",
+			Measured: fmt.Sprintf("P(detected lin | actual non-lin) = %.2f (%d/%d)",
+				miss, missed, nonLin),
+			// The trend must be non-decreasing (small sampling tolerance).
+			Pass: nonLin > 0 && miss >= prevMiss-0.05,
+		})
+		prevMiss = miss
+	}
+	return rows
+}
+
+// runStretch runs the generic verifier (announce, wait d local steps, invoke
+// A, wait d, encode) over the adversarial queue under a seeded schedule and
+// returns the actual and detected histories.
+func runStretch(delay int, seed int64) (actual, detected history.History) {
+	const n = 2
+	s := sim.New()
+	a := impls.NewAdversarialQueue()
+	var mem history.History
+	var act history.History
+	var uniq uint64
+	for p := 0; p < n; p++ {
+		p := p
+		s.Spawn("proc", func(e *sim.Env) {
+			for it := 0; it < 2; it++ {
+				var op spec.Operation
+				e.Step(func() {
+					uniq++
+					if p == 0 && it == 0 {
+						op = spec.Operation{Method: spec.MethodEnq, Arg: 1, Uniq: uniq}
+					} else {
+						op = spec.Operation{Method: spec.MethodDeq, Uniq: uniq}
+					}
+					mem = append(mem, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+				})
+				for i := 0; i < delay; i++ {
+					e.Step(func() {}) // asynchrony between announce and invoke
+				}
+				var resp spec.Response
+				e.Step(func() {
+					act = append(act, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+					resp = a.Apply(p, op)
+					act = append(act, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: resp})
+				})
+				for i := 0; i < delay; i++ {
+					e.Step(func() {})
+				}
+				e.Step(func() {
+					mem = append(mem, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: resp})
+				})
+			}
+		})
+	}
+	s.Run(sim.NewSeeded(seed), 1_000_000)
+	s.Stop()
+	return act, mem
+}

@@ -1,0 +1,78 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/genlin"
+	"repro/internal/impls"
+	"repro/internal/spec"
+)
+
+// SetLin is experiment E14: the paper's results hold for all of GenLin, not
+// just linearizability (§7.1, §11). The immediate snapshot — the canonical
+// set-linearizable object, which no sequential specification captures — is
+// self-enforced with the same machinery: the Borowsky–Gafni implementation
+// passes, and a plain write-collect impostor is caught through the views.
+func SetLin(seeds int) []Row {
+	const n = 3
+	obj := genlin.SetLinearizability(spec.ImmediateSnapshot(n))
+
+	falseErrors := 0
+	for seed := 0; seed < seeds; seed++ {
+		e := core.NewEnforced(impls.NewBGImmediateSnapshot(n), n, obj, nil)
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				op := spec.Operation{Method: spec.MethodWriteScan, Arg: int64(p), Uniq: uint64(seed*n+p) + 1}
+				if _, rep := e.Apply(p, op); rep != nil {
+					mu.Lock()
+					falseErrors++
+					mu.Unlock()
+				}
+			}(p)
+		}
+		wg.Wait()
+	}
+
+	// The impostor, driven into the immediacy violation deterministically:
+	// p1 writes, p0 completes seeing {0,1}, p2 completes seeing {0,1,2},
+	// then p1 collects {0,1,2}. The one-shot computation is judged at
+	// quiescence from the certificate (§9.3).
+	bad := impls.NewNonImmediateSnapshot(n)
+	p1wrote := make(chan struct{})
+	p1may := make(chan struct{})
+	bad.Gate = func(proc int) {
+		if proc == 1 {
+			close(p1wrote)
+			<-p1may
+		}
+	}
+	e := core.NewEnforced(bad, n, obj, nil)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var p1err *core.Report
+	go func() {
+		defer wg.Done()
+		_, p1err = e.Apply(1, spec.Operation{Method: spec.MethodWriteScan, Arg: 1, Uniq: 102})
+	}()
+	<-p1wrote
+	_, rep0 := e.Apply(0, spec.Operation{Method: spec.MethodWriteScan, Arg: 0, Uniq: 101})
+	_, rep2 := e.Apply(2, spec.Operation{Method: spec.MethodWriteScan, Arg: 2, Uniq: 103})
+	close(p1may)
+	wg.Wait()
+	cert, certErr := e.Certify(0)
+	detected := p1err != nil || rep0 != nil || rep2 != nil ||
+		(certErr == nil && !obj.Contains(cert))
+
+	return []Row{
+		{ID: "E14", Name: "set-lin: BG immediate snapshot", Paper: "GenLin covers set-linearizability; correct impl passes",
+			Measured: fmt.Sprintf("false errors=%d over %d runs", falseErrors, seeds), Pass: falseErrors == 0},
+		{ID: "E14", Name: "set-lin: write-collect impostor", Paper: "immediacy violation detected via views",
+			Measured: fmt.Sprintf("detected=%v", detected), Pass: detected},
+	}
+}

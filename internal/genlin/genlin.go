@@ -1,0 +1,176 @@
+// Package genlin implements the paper's GenLin formalism (§7.1): abstract
+// objects are sets of well-formed finite histories, closed under prefixes and
+// under the similarity relation of Definition 7.1, and the associated
+// correctness condition is membership. Lemma 7.1 shows linearizability with
+// respect to any sequential object yields a GenLin member; §9.3 shows
+// one-shot tasks do too.
+package genlin
+
+import (
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Object is an abstract object in the class GenLin: a prefix- and
+// similarity-closed set of histories, represented by its membership test.
+type Object interface {
+	Name() string
+	// Contains reports whether h belongs to the object (the history is
+	// "correct"). h must be well-formed.
+	Contains(h history.History) bool
+}
+
+// linObject is the GenLin member induced by linearizability with respect to a
+// sequential object (Remark 7.1 and Lemma 7.1).
+type linObject struct {
+	model   spec.Model
+	monitor check.Monitor
+}
+
+// Linearizability returns the abstract object containing every finite
+// history linearizable with respect to m. By Lemma 7.1 it is closed under
+// prefixes and similarity, hence a GenLin member.
+func Linearizability(m spec.Model) Object {
+	return linObject{model: m, monitor: check.ForModel(m)}
+}
+
+func (o linObject) Name() string { return "linearizable-" + o.model.Name() }
+
+func (o linObject) Contains(h history.History) bool {
+	return o.monitor.Check(h) == check.Yes
+}
+
+// Model exposes the underlying sequential object of a Linearizability
+// object, or nil for other objects. Diagnostics use it to explain witnesses.
+func Model(o Object) spec.Model {
+	if lo, ok := o.(linObject); ok {
+		return lo.model
+	}
+	return nil
+}
+
+// taskObject is a one-shot distributed task (§9.3): every process invokes at
+// most one operation, and correctness of the complete runs is given by the
+// task's input/output relation evaluated on the history. Real-time order
+// matters (unlike classic task checking from (input, output) pairs alone,
+// §10): the relation receives the full history.
+type taskObject struct {
+	name string
+	// contains decides membership for histories where each process has at
+	// most one operation.
+	contains func(h history.History) bool
+}
+
+// Task returns a GenLin object for a one-shot task. The provided membership
+// predicate must itself be prefix- and similarity-closed; the wrapper adds
+// the one-invocation-per-process well-formedness requirement.
+func Task(name string, contains func(h history.History) bool) Object {
+	return taskObject{name: "task-" + name, contains: contains}
+}
+
+func (o taskObject) Name() string { return o.name }
+
+func (o taskObject) Contains(h history.History) bool {
+	seen := make(map[int]int)
+	for _, e := range h {
+		if e.Kind == history.Invoke {
+			seen[e.Proc]++
+			if seen[e.Proc] > 1 {
+				return false
+			}
+		}
+	}
+	return o.contains(h)
+}
+
+// ConsensusTask returns the one-shot consensus task: agreement (all decided
+// values equal) and validity (the decision is the input of a participating
+// process, where participation respects real time: an operation that
+// completed before any other began can only have decided its own input).
+// It is exactly linearizability of the sequential consensus object restricted
+// to one-shot histories.
+func ConsensusTask() Object {
+	lin := Linearizability(spec.Consensus())
+	return Task("consensus", lin.Contains)
+}
+
+// setLinObject is the GenLin member induced by set-linearizability with
+// respect to a set-sequential object (§7.1: set-linearizability [81] is in
+// GenLin).
+type setLinObject struct {
+	model spec.SetModel
+}
+
+// SetLinearizability returns the abstract object containing every finite
+// history set-linearizable with respect to m.
+func SetLinearizability(m spec.SetModel) Object { return setLinObject{model: m} }
+
+func (o setLinObject) Name() string { return "set-linearizable-" + o.model.Name() }
+
+func (o setLinObject) Contains(h history.History) bool {
+	return check.SetLinearizable(o.model, h)
+}
+
+// WriteSnapshotTask returns the write-snapshot task for n processes as a
+// GenLin object — the paper's running example of an interval-linearizable
+// but not set-linearizable object ([17], §9.3). Each process writes (its
+// index, via op.Arg) and obtains a set of processes, encoded as a bitmask.
+// A history is a member iff there is an interval-linearization, which for
+// write-snapshot amounts to:
+//
+//	self-inclusion:  p ∈ S_p,
+//	comparability:   S_p ⊆ S_q or S_q ⊆ S_p,
+//	containment:     if op_p precedes op_q in real time, then p ∈ S_q and
+//	                 S_p ⊆ S_q,
+//
+// with pending operations free to be assigned any set (or dropped). Unlike
+// the immediate snapshot, immediacy is NOT required: q ∈ S_p does not force
+// S_q ⊆ S_p, which is exactly why a plain write-then-collect implements this
+// object but not the set-linearizable one.
+func WriteSnapshotTask(n int) Object {
+	return Task("write-snapshot", func(h history.History) bool {
+		ops := h.Ops()
+		type done struct {
+			proc int
+			set  int64
+			op   history.Op
+		}
+		var outs []done
+		for _, o := range ops {
+			if o.Op.Method != spec.MethodWriteScan {
+				return false
+			}
+			if !o.Complete {
+				continue
+			}
+			if o.Res.Kind != spec.KindValue {
+				return false
+			}
+			outs = append(outs, done{proc: int(o.Op.Arg), set: o.Res.Val, op: o})
+		}
+		for _, a := range outs {
+			if a.proc < 0 || a.proc >= n || !spec.ProcSetContains(a.set, a.proc) {
+				return false // self-inclusion
+			}
+		}
+		for i, a := range outs {
+			for j, b := range outs {
+				if i == j {
+					continue
+				}
+				union := a.set | b.set
+				if union != a.set && union != b.set {
+					return false // comparability
+				}
+				if a.op.RetIdx >= 0 && a.op.RetIdx < b.op.InvIdx {
+					// a wholly precedes b.
+					if !spec.ProcSetContains(b.set, a.proc) || a.set|b.set != b.set {
+						return false // containment
+					}
+				}
+			}
+		}
+		return true
+	})
+}

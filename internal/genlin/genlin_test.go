@@ -1,0 +1,231 @@
+package genlin
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func TestLinearizabilityObject(t *testing.T) {
+	obj := Linearizability(spec.Queue())
+	if obj.Name() != "linearizable-queue" {
+		t.Fatalf("Name = %q", obj.Name())
+	}
+	good := history.NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if !obj.Contains(good) {
+		t.Fatal("member rejected")
+	}
+	bad := history.NewBuilder().
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		MustHistory(t)
+	if obj.Contains(bad) {
+		t.Fatal("non-member accepted")
+	}
+}
+
+// TestPrefixClosure: GenLin members are closed under prefixes (Lemma 7.1(1)).
+func TestPrefixClosure(t *testing.T) {
+	obj := Linearizability(spec.Queue())
+	for seed := int64(0); seed < 30; seed++ {
+		h := trace.RandomLinearizable(spec.Queue(), seed, 3, 10)
+		if !obj.Contains(h) {
+			t.Fatalf("seed %d: generated member rejected", seed)
+		}
+		for k := 0; k <= len(h); k += 3 {
+			if !obj.Contains(h[:k]) {
+				t.Fatalf("seed %d: prefix of length %d not a member:\n%s", seed, k, h[:k].String())
+			}
+		}
+	}
+}
+
+// TestSimilarityClosure: if F is a member and E is similar to F, E is a
+// member (Lemma 7.1(2)). E is derived from F by turning trailing responses
+// into pending operations and overlapping operations — all similarity-safe
+// transformations, verified through history.Similar before asserting.
+func TestSimilarityClosure(t *testing.T) {
+	obj := Linearizability(spec.Queue())
+	for seed := int64(0); seed < 30; seed++ {
+		f := trace.RandomLinearizable(spec.Queue(), seed, 3, 10)
+		if !obj.Contains(f) {
+			continue
+		}
+		// Drop a response that is the final event of its process: the op
+		// becomes pending in e and e stays well-formed.
+		var e history.History
+		lastRet := -1
+		for i := len(f) - 1; i >= 0 && lastRet < 0; i-- {
+			if f[i].Kind != history.Return {
+				continue
+			}
+			isProcFinal := true
+			for j := i + 1; j < len(f); j++ {
+				if f[j].Proc == f[i].Proc {
+					isProcFinal = false
+					break
+				}
+			}
+			if isProcFinal {
+				lastRet = i
+			}
+		}
+		if lastRet < 0 {
+			continue
+		}
+		e = append(e, f[:lastRet]...)
+		e = append(e, f[lastRet+1:]...)
+		if err := e.Validate(); err != nil {
+			t.Fatalf("seed %d: construction ill-formed: %v", seed, err)
+		}
+		if !history.Similar(e, f) {
+			t.Fatalf("seed %d: construction must be similar to original", seed)
+		}
+		if !obj.Contains(e) {
+			t.Fatalf("seed %d: similar history rejected:\n%s", seed, e.String())
+		}
+	}
+}
+
+func TestModelAccessor(t *testing.T) {
+	obj := Linearizability(spec.Stack())
+	if m := Model(obj); m == nil || m.Name() != "stack" {
+		t.Fatalf("Model(obj) = %v", m)
+	}
+	if m := Model(ConsensusTask()); m != nil {
+		t.Fatalf("Model(task) = %v, want nil", m)
+	}
+}
+
+func TestTaskOneShotRestriction(t *testing.T) {
+	task := ConsensusTask()
+	if task.Name() != "task-consensus" {
+		t.Fatalf("Name = %q", task.Name())
+	}
+	twoOps := history.NewBuilder().
+		Call(0, spec.MethodDecide, 5, spec.ValueResp(5)).
+		Call(0, spec.MethodDecide, 6, spec.ValueResp(5)).
+		MustHistory(t)
+	if task.Contains(twoOps) {
+		t.Fatal("two invocations by one process accepted in a one-shot task")
+	}
+}
+
+func TestConsensusTaskValidity(t *testing.T) {
+	task := ConsensusTask()
+	solo := history.NewBuilder().
+		Call(0, spec.MethodDecide, 5, spec.ValueResp(99)).
+		MustHistory(t)
+	if task.Contains(solo) {
+		t.Fatal("solo decision of a non-input accepted")
+	}
+	conc := history.NewBuilder().
+		Inv(0, spec.MethodDecide, 5).
+		Inv(1, spec.MethodDecide, 99).
+		Ret(0, spec.ValueResp(99)).
+		Ret(1, spec.ValueResp(99)).
+		MustHistory(t)
+	if !task.Contains(conc) {
+		t.Fatal("valid concurrent agreement rejected")
+	}
+}
+
+func wsOp(p int, uniq uint64) spec.Operation {
+	return spec.Operation{Method: spec.MethodWriteScan, Arg: int64(p), Uniq: uniq}
+}
+
+func wsSet(ps ...int) spec.Response { return spec.ValueResp(spec.PackProcSet(ps)) }
+
+func TestWriteSnapshotTaskAccepts(t *testing.T) {
+	obj := WriteSnapshotTask(3)
+	// Sequential run with growing sets.
+	h := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: wsSet(0, 1)},
+	}
+	if !obj.Contains(h) {
+		t.Fatal("valid write-snapshot run rejected")
+	}
+	// Concurrent identical sets are fine too.
+	conc := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0, 1)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: wsSet(0, 1)},
+	}
+	if !obj.Contains(conc) {
+		t.Fatal("concurrent identical sets rejected")
+	}
+	// Pending operations are tolerated.
+	pend := history.History{
+		{Kind: history.Invoke, Proc: 2, ID: 3, Op: wsOp(2, 3)},
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0, 2)},
+	}
+	if !obj.Contains(pend) {
+		t.Fatal("history with pending op rejected")
+	}
+}
+
+func TestWriteSnapshotTaskRejects(t *testing.T) {
+	obj := WriteSnapshotTask(3)
+	// Self-inclusion violation.
+	selfless := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(1)},
+	}
+	if obj.Contains(selfless) {
+		t.Fatal("self-inclusion violation accepted")
+	}
+	// Comparability violation.
+	incomparable := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: wsSet(1)},
+	}
+	if obj.Contains(incomparable) {
+		t.Fatal("comparability violation accepted")
+	}
+	// Containment violation: op0 wholly precedes op1 but 0 ∉ S1.
+	contain := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0)},
+		{Kind: history.Invoke, Proc: 1, ID: 2, Op: wsOp(1, 2)},
+		{Kind: history.Return, Proc: 1, ID: 2, Op: wsOp(1, 2), Res: wsSet(1)},
+	}
+	if obj.Contains(contain) {
+		t.Fatal("containment violation accepted")
+	}
+	// A second invocation by the same process breaks one-shot-ness.
+	twice := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0)},
+		{Kind: history.Invoke, Proc: 0, ID: 2, Op: wsOp(0, 2)},
+		{Kind: history.Return, Proc: 0, ID: 2, Op: wsOp(0, 2), Res: wsSet(0)},
+	}
+	if obj.Contains(twice) {
+		t.Fatal("two-shot history accepted by one-shot task")
+	}
+}
+
+func TestSetLinearizabilityObjectName(t *testing.T) {
+	obj := SetLinearizability(spec.ImmediateSnapshot(2))
+	if obj.Name() != "set-linearizable-immediate-snapshot" {
+		t.Fatalf("Name = %q", obj.Name())
+	}
+	ok := history.History{
+		{Kind: history.Invoke, Proc: 0, ID: 1, Op: wsOp(0, 1)},
+		{Kind: history.Return, Proc: 0, ID: 1, Op: wsOp(0, 1), Res: wsSet(0)},
+	}
+	if !obj.Contains(ok) {
+		t.Fatal("solo immediate snapshot rejected")
+	}
+}

@@ -1,0 +1,81 @@
+package history
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+)
+
+// Builder constructs well-formed histories programmatically; it is the
+// mechanism tests and experiments use to transcribe the paper's figures.
+// Operation IDs and Uniq values are assigned automatically.
+type Builder struct {
+	h      History
+	nextID uint64
+	open   map[int]uint64 // proc -> id of its pending op
+	ops    map[uint64]spec.Operation
+	err    error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{open: make(map[int]uint64), ops: make(map[uint64]spec.Operation), nextID: 1}
+}
+
+// Inv appends an invocation by process proc (0-based) and returns the builder.
+func (b *Builder) Inv(proc int, method string, arg int64) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, busy := b.open[proc]; busy {
+		b.err = fmt.Errorf("process %d already has a pending operation", proc)
+		return b
+	}
+	id := b.nextID
+	b.nextID++
+	op := spec.Operation{Method: method, Arg: arg, Uniq: id}
+	b.open[proc] = id
+	b.ops[id] = op
+	b.h = append(b.h, Event{Kind: Invoke, Proc: proc, ID: id, Op: op})
+	return b
+}
+
+// Ret appends the response of proc's pending operation.
+func (b *Builder) Ret(proc int, res spec.Response) *Builder {
+	if b.err != nil {
+		return b
+	}
+	id, busy := b.open[proc]
+	if !busy {
+		b.err = fmt.Errorf("process %d has no pending operation to respond to", proc)
+		return b
+	}
+	delete(b.open, proc)
+	b.h = append(b.h, Event{Kind: Return, Proc: proc, ID: id, Op: b.ops[id], Res: res})
+	return b
+}
+
+// Call appends an invocation immediately followed by its response.
+func (b *Builder) Call(proc int, method string, arg int64, res spec.Response) *Builder {
+	return b.Inv(proc, method, arg).Ret(proc, res)
+}
+
+// History returns the built history. It panics only through the returned
+// error: callers should check Err for construction mistakes.
+func (b *Builder) History() History {
+	out := make(History, len(b.h))
+	copy(out, b.h)
+	return out
+}
+
+// Err reports the first construction error, if any.
+func (b *Builder) Err() error { return b.err }
+
+// MustHistory returns the built history or fails the given fataler (usually a
+// *testing.T) if construction went wrong.
+func (b *Builder) MustHistory(t interface{ Fatalf(string, ...any) }) History {
+	if b.err != nil {
+		t.Fatalf("history construction: %v", b.err)
+	}
+	return b.History()
+}

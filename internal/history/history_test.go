@@ -1,0 +1,312 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).
+		Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateRejectsOverlappingSameProcess(t *testing.T) {
+	h := History{
+		{Kind: Invoke, Proc: 0, ID: 1, Op: spec.Operation{Method: spec.MethodEnq, Arg: 1, Uniq: 1}},
+		{Kind: Invoke, Proc: 0, ID: 2, Op: spec.Operation{Method: spec.MethodEnq, Arg: 2, Uniq: 2}},
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted a non-sequential process")
+	}
+}
+
+func TestValidateRejectsOrphanResponse(t *testing.T) {
+	h := History{{Kind: Return, Proc: 0, ID: 1, Res: spec.OKResp()}}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted an orphan response")
+	}
+}
+
+func TestValidateRejectsDuplicateID(t *testing.T) {
+	op := spec.Operation{Method: spec.MethodEnq, Arg: 1, Uniq: 1}
+	h := History{
+		{Kind: Invoke, Proc: 0, ID: 1, Op: op},
+		{Kind: Return, Proc: 0, ID: 1, Op: op, Res: spec.OKResp()},
+		{Kind: Invoke, Proc: 1, ID: 1, Op: op},
+	}
+	if err := h.Validate(); err == nil {
+		t.Fatal("Validate accepted a duplicate id")
+	}
+}
+
+func TestOpsAndPending(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).
+		MustHistory(t)
+	ops := h.Ops()
+	if len(ops) != 2 {
+		t.Fatalf("Ops = %d, want 2", len(ops))
+	}
+	if !ops[0].Complete || ops[0].Proc != 0 {
+		t.Fatalf("op0 = %+v, want complete op of p0", ops[0])
+	}
+	if ops[1].Complete {
+		t.Fatalf("op1 = %+v, want pending", ops[1])
+	}
+	p := h.Pending()
+	if len(p) != 1 || p[0].Proc != 1 {
+		t.Fatalf("Pending = %+v", p)
+	}
+}
+
+func TestComplete(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).
+		MustHistory(t)
+	c := h.Complete()
+	if len(c) != 2 {
+		t.Fatalf("comp(E) length = %d, want 2", len(c))
+	}
+	for _, e := range c {
+		if e.Proc == 1 {
+			t.Fatalf("comp(E) kept pending invocation: %+v", e)
+		}
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("comp(E) not well-formed: %v", err)
+	}
+}
+
+func TestExtend(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		MustHistory(t)
+	ext, err := h.Extend([]Event{{Kind: Return, Proc: 0, ID: h[0].ID, Op: h[0].Op, Res: spec.OKResp()}})
+	if err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if len(ext.Pending()) != 0 {
+		t.Fatal("extension left op pending")
+	}
+	if _, err := h.Extend([]Event{{Kind: Return, Proc: 3, ID: 99}}); err == nil {
+		t.Fatal("Extend accepted a response with no matching invocation")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	// Same operations (same identities), different interleaving.
+	b := History{a[1], a[3], a[0], a[2]}
+	if !Equivalent(a, b) {
+		t.Fatal("equivalent histories reported as different")
+	}
+	c := NewBuilder().
+		Inv(0, spec.MethodEnq, 2).Ret(0, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	if Equivalent(a, c) {
+		t.Fatal("histories with different contents reported equivalent")
+	}
+}
+
+func TestSequential(t *testing.T) {
+	seq := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(1)).
+		MustHistory(t)
+	if !seq.Sequential() {
+		t.Fatal("sequential history not recognised")
+	}
+	conc := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).
+		Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	if conc.Sequential() {
+		t.Fatal("concurrent history reported sequential")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	// p0: |--a--|     |--c--|
+	// p1:       |--b--|
+	h := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).     // a, id 1
+		Call(1, spec.MethodEnq, 2, spec.OKResp()).     // b, id 2
+		Call(0, spec.MethodDeq, 0, spec.ValueResp(1)). // c, id 3
+		MustHistory(t)
+	lt := h.PrecedenceLt()
+	for _, want := range []Pair{{1, 2}, {2, 3}, {1, 3}} {
+		if !lt[want] {
+			t.Fatalf("missing %v in <_E; got %v", want, lt)
+		}
+	}
+	if lt[Pair{2, 1}] || lt[Pair{3, 1}] {
+		t.Fatalf("spurious pairs in <_E: %v", lt)
+	}
+
+	// ≺ also relates complete-before-pending.
+	g := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).
+		MustHistory(t)
+	prec := g.PrecedencePrec()
+	if !prec[Pair{1, 2}] {
+		t.Fatalf("≺ must relate complete op before pending op; got %v", prec)
+	}
+	if len(g.PrecedenceLt()) != 0 {
+		t.Fatal("<_E must ignore pending operations")
+	}
+}
+
+// TestSimilarIdentity: every history is similar to itself.
+func TestSimilarIdentity(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(0, spec.OKResp()).
+		MustHistory(t)
+	if !Similar(h, h) {
+		t.Fatal("history not similar to itself")
+	}
+}
+
+// TestSimilarDropPending: a history with a pending op is similar to the same
+// history without that op's invocation.
+func TestSimilarDropPending(t *testing.T) {
+	withPending := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).
+		MustHistory(t)
+	without := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		MustHistory(t)
+	if !Similar(withPending, without) {
+		t.Fatal("dropping a pending invocation must preserve similarity")
+	}
+	// The converse does not hold: `without` has no pending op to grow.
+	if Similar(without, withPending) {
+		t.Fatal("similarity wrongly invents a pending operation")
+	}
+}
+
+// TestSimilarCompletePending: completing a pending op with g's response.
+func TestSimilarCompletePending(t *testing.T) {
+	pending := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).
+		MustHistory(t)
+	completed := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(1, spec.ValueResp(1)).
+		MustHistory(t)
+	if !Similar(pending, completed) {
+		t.Fatal("completing a pending op must preserve similarity")
+	}
+}
+
+// TestSimilarOrderViolation: similarity requires ≺_{E'} ⊆ ≺_F.
+func TestSimilarOrderViolation(t *testing.T) {
+	// In e: a (p0) fully precedes b (p1).
+	e := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodEnq, 2, spec.OKResp()).
+		MustHistory(t)
+	// In f: same operations but b fully precedes a, so ≺_e ⊄ ≺_f.
+	f := History{e[2], e[3], e[0], e[1]}
+	if Similar(e, f) {
+		t.Fatal("similarity must respect real-time order containment")
+	}
+	// But f's overlapping version is fine: overlap adds no ≺ pairs.
+	g := NewBuilder().
+		Inv(0, spec.MethodEnq, 1).
+		Inv(1, spec.MethodEnq, 2).
+		Ret(0, spec.OKResp()).
+		Ret(1, spec.OKResp()).
+		MustHistory(t)
+	if Similar(e, g) {
+		// ≺_e has (a,b); ≺_g is empty, so e is NOT similar to g.
+		t.Fatal("≺_e ⊆ ≺_g must fail when g overlaps everything")
+	}
+	if !Similar(g, e) {
+		// ≺_g is empty ⊆ ≺_e, contents match: g IS similar to e.
+		t.Fatal("overlapping history must be similar to its sequential interleaving")
+	}
+}
+
+func TestSimilarDifferentContents(t *testing.T) {
+	a := NewBuilder().Call(0, spec.MethodEnq, 1, spec.OKResp()).MustHistory(t)
+	b := NewBuilder().Call(0, spec.MethodEnq, 2, spec.OKResp()).MustHistory(t)
+	if Similar(a, b) {
+		t.Fatal("histories with different op contents cannot be similar")
+	}
+}
+
+func TestSimilarExtraProcess(t *testing.T) {
+	a := NewBuilder().Call(0, spec.MethodEnq, 1, spec.OKResp()).MustHistory(t)
+	b := NewBuilder().
+		Call(0, spec.MethodEnq, 1, spec.OKResp()).
+		Call(1, spec.MethodEnq, 2, spec.OKResp()).
+		MustHistory(t)
+	if Similar(a, b) || Similar(b, a) {
+		t.Fatal("histories over different process sets cannot be similar")
+	}
+}
+
+func TestByProcAndProcs(t *testing.T) {
+	h := NewBuilder().
+		Call(2, spec.MethodEnq, 1, spec.OKResp()).
+		Call(0, spec.MethodDeq, 0, spec.EmptyResp()).
+		MustHistory(t)
+	if got := h.Procs(); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Procs = %v", got)
+	}
+	if got := h.ByProc(2); len(got) != 2 {
+		t.Fatalf("ByProc(2) = %v", got)
+	}
+}
+
+func TestStringAndRender(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodPush, 1).
+		Ret(0, spec.BoolResp(true)).
+		Inv(1, spec.MethodPop, 0).
+		MustHistory(t)
+	s := h.String()
+	if !strings.Contains(s, "Push(1)") || !strings.Contains(s, "true") {
+		t.Fatalf("String output missing content:\n%s", s)
+	}
+	r := h.Render()
+	if !strings.Contains(r, "p1") || !strings.Contains(r, "p2") {
+		t.Fatalf("Render output missing lanes:\n%s", r)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder().Inv(0, spec.MethodEnq, 1).Inv(0, spec.MethodEnq, 2)
+	if b.Err() == nil {
+		t.Fatal("builder accepted overlapping ops of one process")
+	}
+	b2 := NewBuilder().Ret(0, spec.OKResp())
+	if b2.Err() == nil {
+		t.Fatal("builder accepted response without invocation")
+	}
+}

@@ -1,0 +1,36 @@
+package history_test
+
+import (
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// TestGeneratedHistoryInvariants: structural properties over the random
+// generator's output. Lives in an external test package because trace
+// imports history.
+func TestGeneratedHistoryInvariants(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		h := trace.RandomLinearizable(spec.Queue(), seed, 3, 12)
+		if !history.Similar(h, h) {
+			t.Fatalf("seed %d: history not similar to itself", seed)
+		}
+		c := h.Complete()
+		if err := c.Validate(); err != nil {
+			t.Fatalf("seed %d: comp(E) invalid: %v", seed, err)
+		}
+		if len(c.Pending()) != 0 {
+			t.Fatalf("seed %d: comp(E) has pending ops", seed)
+		}
+		// <_E ⊆ ≺_E.
+		lt := h.PrecedenceLt()
+		prec := h.PrecedencePrec()
+		for pr := range lt {
+			if !prec[pr] {
+				t.Fatalf("seed %d: <_E pair %v missing from ≺_E", seed, pr)
+			}
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package history
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+
+	"repro/internal/spec"
+)
+
+// jsonEvent is the wire form of an Event, used by cmd/linverify and any
+// external tooling that wants to feed histories in.
+type jsonEvent struct {
+	Kind string `json:"kind"` // "inv" or "ret"
+	Proc int    `json:"proc"` // 1-based in the wire format, as in the paper
+	ID   uint64 `json:"id"`
+	Op   string `json:"op"`            // method name, e.g. "Enq"
+	Arg  int64  `json:"arg,omitempty"` // operation argument
+	Res  string `json:"res,omitempty"` // "ok", "empty", "true", "false" or an integer
+}
+
+// EncodeJSON renders h as a JSON array of events.
+func EncodeJSON(h History) ([]byte, error) {
+	out := make([]jsonEvent, len(h))
+	for i, e := range h {
+		je := jsonEvent{Proc: e.Proc + 1, ID: e.ID, Op: e.Op.Method, Arg: e.Op.Arg}
+		switch e.Kind {
+		case Invoke:
+			je.Kind = "inv"
+		case Return:
+			je.Kind = "ret"
+			je.Res = e.Res.String()
+		default:
+			return nil, fmt.Errorf("event %d: invalid kind", i)
+		}
+		out[i] = je
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodeJSON parses a JSON array of events into a History. Responses are
+// "ok", "empty", "true", "false" or a decimal value.
+func DecodeJSON(data []byte) (History, error) {
+	var in []jsonEvent
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing history: %w", err)
+	}
+	h := make(History, 0, len(in))
+	ops := make(map[uint64]spec.Operation)
+	for i, je := range in {
+		op := spec.Operation{Method: je.Op, Arg: je.Arg, Uniq: je.ID}
+		switch je.Kind {
+		case "inv":
+			ops[je.ID] = op
+			h = append(h, Event{Kind: Invoke, Proc: je.Proc - 1, ID: je.ID, Op: op})
+		case "ret":
+			if known, ok := ops[je.ID]; ok {
+				op = known
+			}
+			res, err := parseResponse(je.Res)
+			if err != nil {
+				return nil, fmt.Errorf("event %d: %w", i, err)
+			}
+			h = append(h, Event{Kind: Return, Proc: je.Proc - 1, ID: je.ID, Op: op, Res: res})
+		default:
+			return nil, fmt.Errorf("event %d: kind must be \"inv\" or \"ret\", got %q", i, je.Kind)
+		}
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func parseResponse(s string) (spec.Response, error) {
+	switch s {
+	case "ok":
+		return spec.OKResp(), nil
+	case "empty":
+		return spec.EmptyResp(), nil
+	case "true":
+		return spec.BoolResp(true), nil
+	case "false":
+		return spec.BoolResp(false), nil
+	default:
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return spec.Response{}, fmt.Errorf("invalid response %q", s)
+		}
+		return spec.ValueResp(v), nil
+	}
+}

@@ -1,0 +1,115 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	h := NewBuilder().
+		Inv(0, spec.MethodEnq, 5).
+		Ret(0, spec.OKResp()).
+		Inv(1, spec.MethodDeq, 0).
+		Ret(1, spec.ValueResp(5)).
+		Inv(2, spec.MethodDeq, 0). // pending
+		MustHistory(t)
+	data, err := EncodeJSON(h)
+	if err != nil {
+		t.Fatalf("EncodeJSON: %v", err)
+	}
+	back, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatalf("DecodeJSON: %v\n%s", err, data)
+	}
+	if len(back) != len(h) {
+		t.Fatalf("round trip length %d, want %d", len(back), len(h))
+	}
+	for i := range h {
+		if back[i] != h[i] {
+			t.Fatalf("event %d: %+v != %+v", i, back[i], h[i])
+		}
+	}
+}
+
+func TestJSONResponses(t *testing.T) {
+	cases := map[string]spec.Response{
+		"ok":    spec.OKResp(),
+		"empty": spec.EmptyResp(),
+		"true":  spec.BoolResp(true),
+		"false": spec.BoolResp(false),
+		"-42":   spec.ValueResp(-42),
+	}
+	for wire, want := range cases {
+		data := `[
+			{"kind":"inv","proc":1,"id":1,"op":"Deq"},
+			{"kind":"ret","proc":1,"id":1,"op":"Deq","res":"` + wire + `"}
+		]`
+		h, err := DecodeJSON([]byte(data))
+		if err != nil {
+			t.Fatalf("%q: %v", wire, err)
+		}
+		if h[1].Res != want {
+			t.Fatalf("%q: got %+v, want %+v", wire, h[1].Res, want)
+		}
+	}
+}
+
+func TestJSONRejects(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`[{"kind":"zap","proc":1,"id":1,"op":"Deq"}]`,
+		`[{"kind":"ret","proc":1,"id":1,"op":"Deq","res":"wat"}]`,
+		// Response without invocation (ill-formed history).
+		`[{"kind":"ret","proc":1,"id":1,"op":"Deq","res":"ok"}]`,
+	}
+	for _, data := range bad {
+		if _, err := DecodeJSON([]byte(data)); err == nil {
+			t.Fatalf("accepted %q", data)
+		}
+	}
+}
+
+func TestJSONEncodeIsReadable(t *testing.T) {
+	h := NewBuilder().Call(0, spec.MethodPush, 3, spec.BoolResp(true)).MustHistory(t)
+	data, err := EncodeJSON(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"kind": "inv"`, `"op": "Push"`, `"res": "true"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("encoded JSON missing %q:\n%s", want, data)
+		}
+	}
+}
+
+// FuzzDecodeJSON checks the decoder never panics and that everything it
+// accepts is a well-formed history that round-trips.
+func FuzzDecodeJSON(f *testing.F) {
+	seed := NewBuilder().
+		Call(0, spec.MethodEnq, 5, spec.OKResp()).
+		Call(1, spec.MethodDeq, 0, spec.ValueResp(5)).
+		MustHistory(f)
+	data, _ := EncodeJSON(seed)
+	f.Add(data)
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`[{"kind":"inv","proc":1,"id":1,"op":"Deq"}]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeJSON(data)
+		if err != nil {
+			return
+		}
+		if err := h.Validate(); err != nil {
+			t.Fatalf("decoder accepted ill-formed history: %v", err)
+		}
+		re, err := EncodeJSON(h)
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := DecodeJSON(re)
+		if err != nil || len(back) != len(h) {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

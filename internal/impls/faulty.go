@@ -1,0 +1,167 @@
+package impls
+
+import (
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// AdversarialQueue is the implementation A from the proof of Theorem 5.1:
+// every Enqueue acknowledges, every Dequeue returns empty — except that
+// process p2's first operation returns 1. With p2's first operation being a
+// Dequeue that overlaps no Enqueue(1), the history is not linearizable.
+type AdversarialQueue struct {
+	p2Done atomic.Bool
+}
+
+// NewAdversarialQueue returns the adversarial queue.
+func NewAdversarialQueue() *AdversarialQueue { return &AdversarialQueue{} }
+
+// Name identifies the implementation.
+func (q *AdversarialQueue) Name() string { return "adversarial-queue" }
+
+// Apply implements the behaviour from the impossibility proof. Process
+// indices are 0-based, so the paper's p2 is proc 1.
+func (q *AdversarialQueue) Apply(proc int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodEnq:
+		return spec.OKResp()
+	case spec.MethodDeq:
+		if proc == 1 && q.p2Done.CompareAndSwap(false, true) {
+			return spec.ValueResp(1)
+		}
+		return spec.EmptyResp()
+	default:
+		return spec.Response{}
+	}
+}
+
+// FaultMode selects the failure a Faulty wrapper injects.
+type FaultMode int
+
+// Fault modes. Each corrupts responses in a way that eventually produces a
+// non-linearizable history.
+const (
+	// PhantomValue makes removal operations (Deq/Pop/ExtractMin) return a
+	// value that was never inserted.
+	PhantomValue FaultMode = iota + 1
+	// DuplicateValue makes removal operations return the previously removed
+	// value again.
+	DuplicateValue
+	// DropUpdate silently discards insert/increment/write operations while
+	// still acknowledging them.
+	DropUpdate
+	// StaleRead makes read operations return an earlier value.
+	StaleRead
+)
+
+// String names the mode.
+func (m FaultMode) String() string {
+	switch m {
+	case PhantomValue:
+		return "phantom"
+	case DuplicateValue:
+		return "duplicate"
+	case DropUpdate:
+		return "drop"
+	case StaleRead:
+		return "stale"
+	default:
+		return "invalid"
+	}
+}
+
+// Faulty wraps an implementation and deterministically injects faults: the
+// decision for each operation is a hash of its Uniq and the seed, so a given
+// workload always fails at the same operations regardless of interleaving.
+type Faulty struct {
+	inner Implementation
+	mode  FaultMode
+	// every k-th eligible operation (by hash) is faulty; 0 disables.
+	rate uint64
+	seed uint64
+
+	lastRemoved atomic.Int64 // for DuplicateValue
+	haveRemoved atomic.Bool
+	lastValue   atomic.Int64 // for StaleRead: previous read's value
+}
+
+// NewFaulty wraps inner with the given fault mode. rate k means roughly one
+// in k eligible operations is corrupted.
+func NewFaulty(inner Implementation, mode FaultMode, rate uint64, seed uint64) *Faulty {
+	return &Faulty{inner: inner, mode: mode, rate: rate, seed: seed}
+}
+
+// Name identifies the implementation and its fault mode.
+func (f *Faulty) Name() string {
+	return f.inner.Name() + "+" + f.mode.String() + "/" + strconv.FormatUint(f.rate, 10)
+}
+
+// shouldFault decides deterministically from the operation identity.
+func (f *Faulty) shouldFault(op spec.Operation) bool {
+	if f.rate == 0 {
+		return false
+	}
+	h := (op.Uniq ^ f.seed) * 0x9E3779B97F4A7C15
+	return h%f.rate == 0
+}
+
+func isRemoval(method string) bool {
+	return method == spec.MethodDeq || method == spec.MethodPop || method == spec.MethodMin
+}
+
+func isUpdate(method string) bool {
+	return method == spec.MethodEnq || method == spec.MethodPush ||
+		method == spec.MethodInsert || method == spec.MethodInc || method == spec.MethodWrite ||
+		method == spec.MethodAdd
+}
+
+// Apply forwards to the wrapped implementation, corrupting selected
+// responses according to the fault mode.
+func (f *Faulty) Apply(proc int, op spec.Operation) spec.Response {
+	switch f.mode {
+	case PhantomValue:
+		if isRemoval(op.Method) && f.shouldFault(op) {
+			return spec.ValueResp(1_000_000 + int64(op.Uniq))
+		}
+	case DuplicateValue:
+		if isRemoval(op.Method) && f.shouldFault(op) && f.haveRemoved.Load() {
+			return spec.ValueResp(f.lastRemoved.Load())
+		}
+	case DropUpdate:
+		if isUpdate(op.Method) && f.shouldFault(op) {
+			// Acknowledge without applying.
+			switch op.Method {
+			case spec.MethodPush:
+				return spec.BoolResp(true)
+			case spec.MethodAdd:
+				return spec.BoolResp(true)
+			default:
+				return spec.OKResp()
+			}
+		}
+	case StaleRead:
+		if op.Method == spec.MethodRead && f.shouldFault(op) {
+			return spec.ValueResp(f.lastValue.Load())
+		}
+	}
+	res := f.inner.Apply(proc, op)
+	if isRemoval(op.Method) && res.Kind == spec.KindValue {
+		f.lastRemoved.Store(res.Val)
+		f.haveRemoved.Store(true)
+	}
+	if op.Method == spec.MethodRead && res.Kind == spec.KindValue {
+		// Remember a value at least two reads old so a stale response is
+		// genuinely stale.
+		f.lastValue.Store(maxInt64(0, res.Val-2))
+	}
+	return res
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

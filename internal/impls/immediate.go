@@ -1,0 +1,162 @@
+package impls
+
+import (
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// BGImmediateSnapshot is the one-shot immediate snapshot of Borowsky and
+// Gafni: each process descends through levels, announcing its level and
+// collecting the set of processes at or below its own, until the set size
+// reaches the level. The returned sets satisfy self-inclusion, containment
+// comparability and immediacy — the set-linearizable behaviour of the
+// immediate snapshot object (spec.ImmediateSnapshot).
+//
+// WriteScan must be invoked at most once per process, with op.Arg equal to
+// the process index (the convention of the set-sequential model).
+type BGImmediateSnapshot struct {
+	n      int
+	levels []atomic.Int64 // levels[p]: current level of p; 0 = not started
+}
+
+// NewBGImmediateSnapshot returns an immediate snapshot for n processes.
+func NewBGImmediateSnapshot(n int) *BGImmediateSnapshot {
+	s := &BGImmediateSnapshot{n: n, levels: make([]atomic.Int64, n)}
+	for p := 0; p < n; p++ {
+		s.levels[p].Store(int64(n + 1))
+	}
+	return s
+}
+
+// Name identifies the implementation.
+func (s *BGImmediateSnapshot) Name() string { return "bg-immediate-snapshot" }
+
+// Apply runs the level-descent protocol and returns the process set as a
+// bitmask.
+func (s *BGImmediateSnapshot) Apply(proc int, op spec.Operation) spec.Response {
+	if op.Method != spec.MethodWriteScan {
+		return spec.Response{}
+	}
+	level := s.levels[proc].Load()
+	for {
+		level--
+		s.levels[proc].Store(level)
+		var set []int
+		for q := 0; q < s.n; q++ {
+			if s.levels[q].Load() <= level {
+				set = append(set, q)
+			}
+		}
+		if int64(len(set)) >= level {
+			return spec.ValueResp(spec.PackProcSet(set))
+		}
+	}
+}
+
+// NonImmediateSnapshot is the faulty counterpart: a plain write-then-collect.
+// Its outputs satisfy self-inclusion but violate immediacy (and sometimes
+// comparability) under concurrency, so it is *not* an immediate snapshot —
+// the set-linearizability verifier must be able to tell.
+type NonImmediateSnapshot struct {
+	n       int
+	present []atomic.Bool
+	// gate, when non-nil, is signalled between the write and the collect so
+	// tests can orchestrate the exact interleavings that expose the bug.
+	Gate func(proc int)
+}
+
+// NewNonImmediateSnapshot returns the faulty write-collect object.
+func NewNonImmediateSnapshot(n int) *NonImmediateSnapshot {
+	return &NonImmediateSnapshot{n: n, present: make([]atomic.Bool, n)}
+}
+
+// Name identifies the implementation.
+func (s *NonImmediateSnapshot) Name() string { return "non-immediate-snapshot" }
+
+// Apply writes the caller's presence and collects once.
+func (s *NonImmediateSnapshot) Apply(proc int, op spec.Operation) spec.Response {
+	if op.Method != spec.MethodWriteScan {
+		return spec.Response{}
+	}
+	s.present[proc].Store(true)
+	if s.Gate != nil {
+		s.Gate(proc)
+	}
+	var set []int
+	for q := 0; q < s.n; q++ {
+		if s.present[q].Load() {
+			set = append(set, q)
+		}
+	}
+	return spec.ValueResp(spec.PackProcSet(set))
+}
+
+// WriteSnapshot is the straightforward write-then-collect one-shot snapshot:
+// it implements the write-snapshot task (interval-linearizable) but not the
+// immediate snapshot (set-linearizable) — the separation the paper's GenLin
+// hierarchy describes.
+type WriteSnapshot struct {
+	n       int
+	present []atomic.Bool
+}
+
+// NewWriteSnapshot returns the write-collect object for n processes.
+func NewWriteSnapshot(n int) *WriteSnapshot {
+	return &WriteSnapshot{n: n, present: make([]atomic.Bool, n)}
+}
+
+// Name identifies the implementation.
+func (s *WriteSnapshot) Name() string { return "write-snapshot" }
+
+// Apply writes the caller's presence and double-collects until stable, so
+// returned sets are comparable (each collect pair that agrees is a snapshot).
+func (s *WriteSnapshot) Apply(proc int, op spec.Operation) spec.Response {
+	if op.Method != spec.MethodWriteScan {
+		return spec.Response{}
+	}
+	s.present[proc].Store(true)
+	prev := s.collect()
+	for {
+		cur := s.collect()
+		if prev == cur {
+			return spec.ValueResp(cur)
+		}
+		prev = cur
+	}
+}
+
+func (s *WriteSnapshot) collect() int64 {
+	var mask int64
+	for q := 0; q < s.n; q++ {
+		if s.present[q].Load() {
+			mask |= 1 << uint(q)
+		}
+	}
+	return mask
+}
+
+// SelfishSnapshot is the faulty write-snapshot: it returns only the caller
+// itself, violating the containment requirement whenever another operation
+// wholly precedes it.
+type SelfishSnapshot struct {
+	n       int
+	present []atomic.Bool
+}
+
+// NewSelfishSnapshot returns the faulty object.
+func NewSelfishSnapshot(n int) *SelfishSnapshot {
+	return &SelfishSnapshot{n: n, present: make([]atomic.Bool, n)}
+}
+
+// Name identifies the implementation.
+func (s *SelfishSnapshot) Name() string { return "selfish-snapshot" }
+
+// Apply ignores everyone else.
+func (s *SelfishSnapshot) Apply(proc int, op spec.Operation) spec.Response {
+	if op.Method != spec.MethodWriteScan {
+		return spec.Response{}
+	}
+	s.present[proc].Store(true)
+	return spec.ValueResp(spec.PackProcSet([]int{proc}))
+}

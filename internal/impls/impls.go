@@ -1,0 +1,452 @@
+// Package impls provides concurrent implementations of the paper's objects —
+// the black boxes A that the verification machinery wraps (§3). Correct
+// implementations (Michael–Scott queue, Treiber stack, atomic counter and
+// register, CAS consensus, a lock-free sorted-list set, a lock-based priority
+// queue and a generic lock-based fallback) exercise the soundness side;
+// seeded faulty variants exercise completeness and enforcement.
+package impls
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/spec"
+)
+
+// Implementation is the object-under-inspection surface (same shape as
+// core.Implementation and trace.Implementation; packages stay decoupled via
+// Go's structural typing).
+type Implementation interface {
+	Apply(proc int, op spec.Operation) spec.Response
+	Name() string
+}
+
+// ---------------------------------------------------------------------------
+// Michael–Scott queue
+// ---------------------------------------------------------------------------
+
+type msNode struct {
+	val  int64
+	next atomic.Pointer[msNode]
+}
+
+// MSQueue is the lock-free FIFO queue of Michael and Scott. Garbage
+// collection stands in for hazard pointers.
+type MSQueue struct {
+	head atomic.Pointer[msNode]
+	tail atomic.Pointer[msNode]
+}
+
+// NewMSQueue returns an empty queue.
+func NewMSQueue() *MSQueue {
+	q := &MSQueue{}
+	sentinel := &msNode{}
+	q.head.Store(sentinel)
+	q.tail.Store(sentinel)
+	return q
+}
+
+// Name identifies the implementation.
+func (q *MSQueue) Name() string { return "ms-queue" }
+
+// Apply dispatches Enq and Deq.
+func (q *MSQueue) Apply(_ int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodEnq:
+		q.enqueue(op.Arg)
+		return spec.OKResp()
+	case spec.MethodDeq:
+		if v, ok := q.dequeue(); ok {
+			return spec.ValueResp(v)
+		}
+		return spec.EmptyResp()
+	default:
+		return spec.Response{}
+	}
+}
+
+func (q *MSQueue) enqueue(v int64) {
+	node := &msNode{val: v}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if tail != q.tail.Load() {
+			continue
+		}
+		if next != nil {
+			q.tail.CompareAndSwap(tail, next) // help a lagging enqueue
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(tail, node)
+			return
+		}
+	}
+}
+
+func (q *MSQueue) dequeue() (int64, bool) {
+	for {
+		head := q.head.Load()
+		tail := q.tail.Load()
+		next := head.next.Load()
+		if head != q.head.Load() {
+			continue
+		}
+		if next == nil {
+			return 0, false // empty
+		}
+		if head == tail {
+			q.tail.CompareAndSwap(tail, next) // help
+			continue
+		}
+		v := next.val
+		if q.head.CompareAndSwap(head, next) {
+			return v, true
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Treiber stack
+// ---------------------------------------------------------------------------
+
+type tNode struct {
+	val  int64
+	next *tNode
+}
+
+// TreiberStack is the classic lock-free LIFO stack.
+type TreiberStack struct {
+	top atomic.Pointer[tNode]
+}
+
+// NewTreiberStack returns an empty stack.
+func NewTreiberStack() *TreiberStack { return &TreiberStack{} }
+
+// Name identifies the implementation.
+func (s *TreiberStack) Name() string { return "treiber-stack" }
+
+// Apply dispatches Push and Pop.
+func (s *TreiberStack) Apply(_ int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodPush:
+		node := &tNode{val: op.Arg}
+		for {
+			top := s.top.Load()
+			node.next = top
+			if s.top.CompareAndSwap(top, node) {
+				return spec.BoolResp(true)
+			}
+		}
+	case spec.MethodPop:
+		for {
+			top := s.top.Load()
+			if top == nil {
+				return spec.EmptyResp()
+			}
+			if s.top.CompareAndSwap(top, top.next) {
+				return spec.ValueResp(top.val)
+			}
+		}
+	default:
+		return spec.Response{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Atomic counter and register
+// ---------------------------------------------------------------------------
+
+// AtomicCounter is a wait-free counter over a fetch-and-add word.
+type AtomicCounter struct {
+	v atomic.Int64
+}
+
+// NewAtomicCounter returns a zero counter.
+func NewAtomicCounter() *AtomicCounter { return &AtomicCounter{} }
+
+// Name identifies the implementation.
+func (c *AtomicCounter) Name() string { return "atomic-counter" }
+
+// Apply dispatches Inc and Read.
+func (c *AtomicCounter) Apply(_ int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodInc:
+		c.v.Add(1)
+		return spec.OKResp()
+	case spec.MethodRead:
+		return spec.ValueResp(c.v.Load())
+	default:
+		return spec.Response{}
+	}
+}
+
+// AtomicRegister is a wait-free read/write register over an atomic word.
+type AtomicRegister struct {
+	v atomic.Int64
+}
+
+// NewAtomicRegister returns a register initialised to initial.
+func NewAtomicRegister(initial int64) *AtomicRegister {
+	r := &AtomicRegister{}
+	r.v.Store(initial)
+	return r
+}
+
+// Name identifies the implementation.
+func (r *AtomicRegister) Name() string { return "atomic-register" }
+
+// Apply dispatches Write and Read.
+func (r *AtomicRegister) Apply(_ int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodWrite:
+		r.v.Store(op.Arg)
+		return spec.OKResp()
+	case spec.MethodRead:
+		return spec.ValueResp(r.v.Load())
+	default:
+		return spec.Response{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CAS consensus
+// ---------------------------------------------------------------------------
+
+// CASConsensus is wait-free consensus by compare-and-swap: the first Decide
+// installs its input; every Decide returns the installed value.
+type CASConsensus struct {
+	val atomic.Pointer[int64]
+}
+
+// NewCASConsensus returns an undecided consensus object.
+func NewCASConsensus() *CASConsensus { return &CASConsensus{} }
+
+// Name identifies the implementation.
+func (c *CASConsensus) Name() string { return "cas-consensus" }
+
+// Apply dispatches Decide.
+func (c *CASConsensus) Apply(_ int, op spec.Operation) spec.Response {
+	if op.Method != spec.MethodDecide {
+		return spec.Response{}
+	}
+	v := op.Arg
+	c.val.CompareAndSwap(nil, &v)
+	return spec.ValueResp(*c.val.Load())
+}
+
+// ---------------------------------------------------------------------------
+// Harris–Michael sorted-list set
+// ---------------------------------------------------------------------------
+
+// hmRef is a next-pointer with a logical-deletion mark, swapped atomically as
+// a unit (the classic AtomicMarkableReference encoding).
+type hmRef struct {
+	node   *hmNode
+	marked bool
+}
+
+type hmNode struct {
+	key  int64
+	next atomic.Pointer[hmRef]
+}
+
+// HMSet is the Harris–Michael lock-free sorted linked-list set. Garbage
+// collection replaces hazard pointers.
+type HMSet struct {
+	head *hmNode
+}
+
+// NewHMSet returns an empty set.
+func NewHMSet() *HMSet {
+	tail := &hmNode{key: 1<<63 - 1}
+	tail.next.Store(&hmRef{})
+	head := &hmNode{key: -(1<<63 - 1)}
+	head.next.Store(&hmRef{node: tail})
+	return &HMSet{head: head}
+}
+
+// Name identifies the implementation.
+func (s *HMSet) Name() string { return "hm-set" }
+
+// find locates the window (pred, curr) around key, physically unlinking
+// marked nodes along the way. predRef is the reference installed in
+// pred.next through which curr was reached; CAS on it detects interference.
+func (s *HMSet) find(key int64) (pred *hmNode, predRef *hmRef, curr *hmNode) {
+retry:
+	for {
+		pred = s.head
+		predRef = pred.next.Load()
+		curr = predRef.node
+		for {
+			currRef := curr.next.Load()
+			if currRef.marked {
+				// curr is logically deleted: try to unlink it.
+				unlinked := &hmRef{node: currRef.node}
+				if !pred.next.CompareAndSwap(predRef, unlinked) {
+					continue retry
+				}
+				predRef = unlinked
+				curr = currRef.node
+				continue
+			}
+			if curr.key >= key {
+				return pred, predRef, curr
+			}
+			pred, predRef = curr, currRef
+			curr = currRef.node
+		}
+	}
+}
+
+// Apply dispatches Add, Remove and Contains.
+func (s *HMSet) Apply(_ int, op spec.Operation) spec.Response {
+	switch op.Method {
+	case spec.MethodAdd:
+		for {
+			pred, predRef, curr := s.find(op.Arg)
+			if curr.key == op.Arg {
+				return spec.BoolResp(false)
+			}
+			node := &hmNode{key: op.Arg}
+			node.next.Store(&hmRef{node: curr})
+			if pred.next.CompareAndSwap(predRef, &hmRef{node: node}) {
+				return spec.BoolResp(true)
+			}
+		}
+	case spec.MethodRemove:
+		for {
+			_, _, curr := s.find(op.Arg)
+			if curr.key != op.Arg {
+				return spec.BoolResp(false)
+			}
+			succRef := curr.next.Load()
+			if succRef.marked {
+				continue
+			}
+			if curr.next.CompareAndSwap(succRef, &hmRef{node: succRef.node, marked: true}) {
+				s.find(op.Arg) // physical cleanup
+				return spec.BoolResp(true)
+			}
+		}
+	case spec.MethodContains:
+		curr := s.head.next.Load().node
+		for curr.key < op.Arg {
+			curr = curr.next.Load().node
+		}
+		return spec.BoolResp(curr.key == op.Arg && !curr.next.Load().marked)
+	default:
+		return spec.Response{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Lock-based fallback
+// ---------------------------------------------------------------------------
+
+// SeqLock wraps any sequential model behind a single mutex: a correct but
+// blocking implementation. It is the baseline whose progress weakness the
+// paper's wait-free machinery avoids introducing.
+type SeqLock struct {
+	mu     sync.Mutex
+	oracle *spec.Oracle
+	name   string
+}
+
+// NewSeqLock returns a lock-based implementation of m.
+func NewSeqLock(m spec.Model) *SeqLock {
+	return &SeqLock{oracle: spec.NewOracle(m), name: "seqlock-" + m.Name()}
+}
+
+// Name identifies the implementation.
+func (s *SeqLock) Name() string { return s.name }
+
+// Apply runs op under the lock.
+func (s *SeqLock) Apply(_ int, op spec.Operation) spec.Response {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, _ := s.oracle.Apply(op)
+	return res
+}
+
+// MutexPQ is a lock-based binary min-heap priority queue.
+type MutexPQ struct {
+	mu   sync.Mutex
+	heap []int64
+}
+
+// NewMutexPQ returns an empty priority queue.
+func NewMutexPQ() *MutexPQ { return &MutexPQ{} }
+
+// Name identifies the implementation.
+func (p *MutexPQ) Name() string { return "mutex-pqueue" }
+
+// Apply dispatches Insert and ExtractMin.
+func (p *MutexPQ) Apply(_ int, op spec.Operation) spec.Response {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch op.Method {
+	case spec.MethodInsert:
+		p.heap = append(p.heap, op.Arg)
+		i := len(p.heap) - 1
+		for i > 0 {
+			parent := (i - 1) / 2
+			if p.heap[parent] <= p.heap[i] {
+				break
+			}
+			p.heap[parent], p.heap[i] = p.heap[i], p.heap[parent]
+			i = parent
+		}
+		return spec.OKResp()
+	case spec.MethodMin:
+		if len(p.heap) == 0 {
+			return spec.EmptyResp()
+		}
+		min := p.heap[0]
+		last := len(p.heap) - 1
+		p.heap[0] = p.heap[last]
+		p.heap = p.heap[:last]
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			smallest := i
+			if l < len(p.heap) && p.heap[l] < p.heap[smallest] {
+				smallest = l
+			}
+			if r < len(p.heap) && p.heap[r] < p.heap[smallest] {
+				smallest = r
+			}
+			if smallest == i {
+				break
+			}
+			p.heap[i], p.heap[smallest] = p.heap[smallest], p.heap[i]
+			i = smallest
+		}
+		return spec.ValueResp(min)
+	default:
+		return spec.Response{}
+	}
+}
+
+// ForModel returns the natural lock-free implementation for a model, or the
+// lock-based fallback when none is provided.
+func ForModel(m spec.Model) Implementation {
+	switch m.Name() {
+	case "queue":
+		return NewMSQueue()
+	case "stack":
+		return NewTreiberStack()
+	case "counter":
+		return NewAtomicCounter()
+	case "register":
+		return NewAtomicRegister(0)
+	case "consensus":
+		return NewCASConsensus()
+	case "set":
+		return NewHMSet()
+	case "pqueue":
+		return NewMutexPQ()
+	default:
+		return NewSeqLock(m)
+	}
+}

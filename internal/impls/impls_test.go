@@ -1,0 +1,295 @@
+package impls
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// stressLinearizable runs a concurrent workload against impl and verifies the
+// recorded real-time history is linearizable with respect to m.
+func stressLinearizable(t *testing.T, m spec.Model, impl Implementation, procs, opsPerProc int, seed int64) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	wrapped := trace.Instrument(impl, rec)
+	var uniq trace.UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen(m.Name(), seed*1000+int64(p), &uniq)
+			for i := 0; i < opsPerProc; i++ {
+				op := gen.Next()
+				wrapped.Apply(p, op)
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.History()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("%s: invalid history: %v", impl.Name(), err)
+	}
+	if !check.IsLinearizable(m, h) {
+		t.Fatalf("%s seed %d: non-linearizable history:\n%s", impl.Name(), seed, h.String())
+	}
+}
+
+func TestMSQueueLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Queue(), NewMSQueue(), 3, 8, seed)
+	}
+}
+
+func TestTreiberStackLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Stack(), NewTreiberStack(), 3, 8, seed)
+	}
+}
+
+func TestAtomicCounterLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Counter(), NewAtomicCounter(), 3, 8, seed)
+	}
+}
+
+func TestAtomicRegisterLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Register(0), NewAtomicRegister(0), 3, 8, seed)
+	}
+}
+
+func TestCASConsensusLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Consensus(), NewCASConsensus(), 3, 4, seed)
+	}
+}
+
+func TestHMSetLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.Set(), NewHMSet(), 3, 8, seed)
+	}
+}
+
+func TestMutexPQLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		stressLinearizable(t, spec.PQueue(), NewMutexPQ(), 3, 8, seed)
+	}
+}
+
+func TestSeqLockLinearizable(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		stressLinearizable(t, spec.Queue(), NewSeqLock(spec.Queue()), 3, 8, seed)
+	}
+}
+
+func TestMSQueueSequentialSemantics(t *testing.T) {
+	q := NewMSQueue()
+	if got := q.Apply(0, spec.Operation{Method: spec.MethodDeq}); got != spec.EmptyResp() {
+		t.Fatalf("Deq on empty = %v", got)
+	}
+	q.Apply(0, spec.Operation{Method: spec.MethodEnq, Arg: 1})
+	q.Apply(0, spec.Operation{Method: spec.MethodEnq, Arg: 2})
+	if got := q.Apply(0, spec.Operation{Method: spec.MethodDeq}); got != spec.ValueResp(1) {
+		t.Fatalf("Deq = %v, want 1", got)
+	}
+	if got := q.Apply(0, spec.Operation{Method: spec.MethodDeq}); got != spec.ValueResp(2) {
+		t.Fatalf("Deq = %v, want 2", got)
+	}
+}
+
+func TestTreiberSequentialSemantics(t *testing.T) {
+	s := NewTreiberStack()
+	if got := s.Apply(0, spec.Operation{Method: spec.MethodPop}); got != spec.EmptyResp() {
+		t.Fatalf("Pop on empty = %v", got)
+	}
+	s.Apply(0, spec.Operation{Method: spec.MethodPush, Arg: 1})
+	s.Apply(0, spec.Operation{Method: spec.MethodPush, Arg: 2})
+	if got := s.Apply(0, spec.Operation{Method: spec.MethodPop}); got != spec.ValueResp(2) {
+		t.Fatalf("Pop = %v, want 2", got)
+	}
+}
+
+func TestHMSetSequentialSemantics(t *testing.T) {
+	s := NewHMSet()
+	ops := []struct {
+		method string
+		arg    int64
+		want   spec.Response
+	}{
+		{spec.MethodContains, 5, spec.BoolResp(false)},
+		{spec.MethodAdd, 5, spec.BoolResp(true)},
+		{spec.MethodAdd, 5, spec.BoolResp(false)},
+		{spec.MethodContains, 5, spec.BoolResp(true)},
+		{spec.MethodAdd, 3, spec.BoolResp(true)},
+		{spec.MethodAdd, 7, spec.BoolResp(true)},
+		{spec.MethodRemove, 5, spec.BoolResp(true)},
+		{spec.MethodRemove, 5, spec.BoolResp(false)},
+		{spec.MethodContains, 5, spec.BoolResp(false)},
+		{spec.MethodContains, 3, spec.BoolResp(true)},
+		{spec.MethodContains, 7, spec.BoolResp(true)},
+	}
+	for i, o := range ops {
+		if got := s.Apply(0, spec.Operation{Method: o.method, Arg: o.arg}); got != o.want {
+			t.Fatalf("step %d: %s(%d) = %v, want %v", i, o.method, o.arg, got, o.want)
+		}
+	}
+}
+
+func TestAdversarialQueue(t *testing.T) {
+	q := NewAdversarialQueue()
+	if got := q.Apply(0, spec.Operation{Method: spec.MethodEnq, Arg: 1}); got != spec.OKResp() {
+		t.Fatalf("Enq = %v", got)
+	}
+	// p2 (index 1) first op returns 1.
+	if got := q.Apply(1, spec.Operation{Method: spec.MethodDeq}); got != spec.ValueResp(1) {
+		t.Fatalf("p2 first Deq = %v, want 1", got)
+	}
+	if got := q.Apply(1, spec.Operation{Method: spec.MethodDeq}); got != spec.EmptyResp() {
+		t.Fatalf("p2 second Deq = %v, want empty", got)
+	}
+	if got := q.Apply(0, spec.Operation{Method: spec.MethodDeq}); got != spec.EmptyResp() {
+		t.Fatalf("p1 Deq = %v, want empty", got)
+	}
+}
+
+// TestFaultyProducesViolations: with rate 1, each fault mode must yield a
+// non-linearizable recorded history on a single-process run (single process
+// makes the real-time order total, so the injected corruption is visible).
+func TestFaultyProducesViolations(t *testing.T) {
+	cases := []struct {
+		model spec.Model
+		build func() Implementation
+		mode  FaultMode
+		ops   []spec.Operation
+	}{
+		{spec.Queue(), func() Implementation { return NewMSQueue() }, PhantomValue, []spec.Operation{
+			{Method: spec.MethodEnq, Arg: 1}, {Method: spec.MethodDeq},
+		}},
+		{spec.Queue(), func() Implementation { return NewMSQueue() }, DuplicateValue, []spec.Operation{
+			{Method: spec.MethodEnq, Arg: 1}, {Method: spec.MethodEnq, Arg: 2},
+			{Method: spec.MethodDeq}, {Method: spec.MethodDeq},
+		}},
+		{spec.Counter(), func() Implementation { return NewAtomicCounter() }, DropUpdate, []spec.Operation{
+			{Method: spec.MethodInc}, {Method: spec.MethodInc}, {Method: spec.MethodRead},
+		}},
+		{spec.Counter(), func() Implementation { return NewAtomicCounter() }, StaleRead, []spec.Operation{
+			{Method: spec.MethodInc}, {Method: spec.MethodInc}, {Method: spec.MethodInc},
+			{Method: spec.MethodRead},
+		}},
+	}
+	for _, c := range cases {
+		f := NewFaulty(c.build(), c.mode, 1, 7)
+		rec := trace.NewRecorder()
+		wrapped := trace.Instrument(f, rec)
+		var uniq trace.UniqSource
+		for _, op := range c.ops {
+			op.Uniq = uniq.Next()
+			wrapped.Apply(0, op)
+		}
+		h := rec.History()
+		if check.IsLinearizable(c.model, h) {
+			t.Fatalf("%s: expected violation, history is linearizable:\n%s", f.Name(), h.String())
+		}
+	}
+}
+
+func TestFaultyRateZeroIsTransparent(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		f := NewFaulty(NewMSQueue(), PhantomValue, 0, 1)
+		stressLinearizable(t, spec.Queue(), f, 3, 6, seed)
+	}
+}
+
+func TestForModel(t *testing.T) {
+	names := map[string]string{
+		"queue":     "ms-queue",
+		"stack":     "treiber-stack",
+		"counter":   "atomic-counter",
+		"register":  "atomic-register",
+		"consensus": "cas-consensus",
+		"set":       "hm-set",
+		"pqueue":    "mutex-pqueue",
+	}
+	for model, want := range names {
+		m, _ := spec.ByName(model)
+		if got := ForModel(m).Name(); got != want {
+			t.Fatalf("ForModel(%s) = %s, want %s", model, got, want)
+		}
+	}
+}
+
+func TestFaultModeString(t *testing.T) {
+	for m, want := range map[FaultMode]string{
+		PhantomValue: "phantom", DuplicateValue: "duplicate", DropUpdate: "drop", StaleRead: "stale", FaultMode(0): "invalid",
+	} {
+		if got := m.String(); got != want {
+			t.Fatalf("%d.String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestWriteSnapshotTaskCompliance(t *testing.T) {
+	// Concurrent stress: outputs must satisfy self-inclusion, comparability
+	// and containment.
+	for seed := 0; seed < 20; seed++ {
+		const n = 4
+		ws := NewWriteSnapshot(n)
+		rec := trace.NewRecorder()
+		var wg sync.WaitGroup
+		for p := 0; p < n; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				op := spec.Operation{Method: spec.MethodWriteScan, Arg: int64(p), Uniq: uint64(p + 1)}
+				rec.Invoke(p, op)
+				res := ws.Apply(p, op)
+				rec.Return(p, op, res)
+			}(p)
+		}
+		wg.Wait()
+		h := rec.History()
+		ops := h.Ops()
+		for i, a := range ops {
+			if !spec.ProcSetContains(a.Res.Val, int(a.Op.Arg)) {
+				t.Fatalf("seed %d: self-inclusion violated: %v", seed, a)
+			}
+			for j, b := range ops {
+				if i == j {
+					continue
+				}
+				u := a.Res.Val | b.Res.Val
+				if u != a.Res.Val && u != b.Res.Val {
+					t.Fatalf("seed %d: incomparable sets %b and %b", seed, a.Res.Val, b.Res.Val)
+				}
+				if a.RetIdx < b.InvIdx && (!spec.ProcSetContains(b.Res.Val, int(a.Op.Arg)) || a.Res.Val|b.Res.Val != b.Res.Val) {
+					t.Fatalf("seed %d: containment violated", seed)
+				}
+			}
+		}
+	}
+}
+
+func TestSelfishSnapshotViolatesSequentially(t *testing.T) {
+	s := NewSelfishSnapshot(2)
+	r0 := s.Apply(0, spec.Operation{Method: spec.MethodWriteScan, Arg: 0, Uniq: 1})
+	r1 := s.Apply(1, spec.Operation{Method: spec.MethodWriteScan, Arg: 1, Uniq: 2})
+	if spec.ProcSetContains(r1.Val, 0) {
+		t.Fatalf("selfish snapshot unexpectedly honest: %b %b", r0.Val, r1.Val)
+	}
+}
+
+func TestBGImmediateSnapshotSequential(t *testing.T) {
+	s := NewBGImmediateSnapshot(3)
+	r0 := s.Apply(0, spec.Operation{Method: spec.MethodWriteScan, Arg: 0, Uniq: 1})
+	if !spec.ProcSetContains(r0.Val, 0) {
+		t.Fatalf("solo run must see itself: %b", r0.Val)
+	}
+	r1 := s.Apply(1, spec.Operation{Method: spec.MethodWriteScan, Arg: 1, Uniq: 2})
+	if !spec.ProcSetContains(r1.Val, 0) || !spec.ProcSetContains(r1.Val, 1) {
+		t.Fatalf("second run must see both: %b", r1.Val)
+	}
+}

@@ -1,0 +1,185 @@
+// Package mp emulates the paper's §9.4 extension: by the shared-memory
+// simulation of Attiya, Bar-Noy and Dolev [5] (ABD), every algorithm in this
+// repository also runs in an asynchronous message-passing system where fewer
+// than half of the replicas may crash. The package provides a replicated
+// register cluster with the ABD read/write protocols and a
+// snapshot.Provider, so the Afek snapshot — and everything built on it —
+// runs unchanged over message passing.
+package mp
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/snapshot"
+)
+
+// timestamp orders writes: lexicographic (seq, proc).
+type timestamp struct {
+	seq  uint64
+	proc int
+}
+
+func (a timestamp) less(b timestamp) bool {
+	if a.seq != b.seq {
+		return a.seq < b.seq
+	}
+	return a.proc < b.proc
+}
+
+type entry struct {
+	ts  timestamp
+	val any
+	ok  bool // false until first write
+}
+
+type reqKind uint8
+
+const (
+	reqRead reqKind = iota + 1
+	reqWrite
+)
+
+type request struct {
+	kind  reqKind
+	reg   int
+	ts    timestamp
+	val   any
+	reply chan entry
+}
+
+// replica is one server holding a copy of every register.
+type replica struct {
+	req     chan request
+	crashed atomic.Bool
+	store   map[int]entry
+}
+
+func (r *replica) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for req := range r.req {
+		if r.crashed.Load() {
+			continue // a crashed replica silently drops messages
+		}
+		switch req.kind {
+		case reqRead:
+			req.reply <- r.store[req.reg]
+		case reqWrite:
+			cur := r.store[req.reg]
+			if !cur.ok || cur.ts.less(req.ts) {
+				r.store[req.reg] = entry{ts: req.ts, val: req.val, ok: true}
+			}
+			req.reply <- entry{}
+		}
+	}
+}
+
+// Cluster is a set of register replicas tolerating a crash minority.
+type Cluster struct {
+	replicas []*replica
+	wg       sync.WaitGroup
+	nextReg  atomic.Int64
+	closed   atomic.Bool
+}
+
+// NewCluster starts a cluster with the given number of replicas (at least 3
+// makes one crash tolerable).
+func NewCluster(replicas int) *Cluster {
+	c := &Cluster{}
+	for i := 0; i < replicas; i++ {
+		r := &replica{req: make(chan request, 1024), store: make(map[int]entry)}
+		c.replicas = append(c.replicas, r)
+		c.wg.Add(1)
+		go r.loop(&c.wg)
+	}
+	return c
+}
+
+// Quorum returns the majority size.
+func (c *Cluster) Quorum() int { return len(c.replicas)/2 + 1 }
+
+// CrashReplica makes replica i drop all future messages. Crashing a majority
+// makes every subsequent operation block, as in the real model.
+func (c *Cluster) CrashReplica(i int) { c.replicas[i].crashed.Store(true) }
+
+// Close shuts the replicas down. No register operation may be in flight or
+// issued afterwards.
+func (c *Cluster) Close() {
+	if c.closed.Swap(true) {
+		return
+	}
+	for _, r := range c.replicas {
+		close(r.req)
+	}
+	c.wg.Wait()
+}
+
+// broadcast sends a request to every replica and waits for a majority of
+// replies.
+func (c *Cluster) broadcast(kind reqKind, reg int, ts timestamp, val any) []entry {
+	reply := make(chan entry, len(c.replicas))
+	for _, r := range c.replicas {
+		r.req <- request{kind: kind, reg: reg, ts: ts, val: val, reply: reply}
+	}
+	out := make([]entry, 0, c.Quorum())
+	for len(out) < c.Quorum() {
+		out = append(out, <-reply)
+	}
+	return out
+}
+
+// Register is an ABD multi-writer multi-reader atomic register.
+type Register[T any] struct {
+	c       *Cluster
+	id      int
+	initial T
+}
+
+// NewRegister allocates a fresh register on the cluster.
+func NewRegister[T any](c *Cluster, initial T) *Register[T] {
+	return &Register[T]{c: c, id: int(c.nextReg.Add(1)), initial: initial}
+}
+
+// Load performs the ABD read: query a majority for the highest timestamp,
+// write the value back to a majority (so later reads cannot see an older
+// value), then return it.
+func (r *Register[T]) Load(proc int) T {
+	best := r.query()
+	if !best.ok {
+		return r.initial
+	}
+	r.c.broadcast(reqWrite, r.id, best.ts, best.val) // write-back
+	return best.val.(T)
+}
+
+// Store performs the ABD write: query a majority for the highest timestamp,
+// then install the value with a higher one.
+func (r *Register[T]) Store(proc int, v T) {
+	best := r.query()
+	ts := timestamp{seq: best.ts.seq + 1, proc: proc}
+	r.c.broadcast(reqWrite, r.id, ts, v)
+}
+
+func (r *Register[T]) query() entry {
+	replies := r.c.broadcast(reqRead, r.id, timestamp{}, nil)
+	var best entry
+	for _, e := range replies {
+		if e.ok && (!best.ok || best.ts.less(e.ts)) {
+			best = e
+		}
+	}
+	return best
+}
+
+// Provider returns a snapshot.Provider allocating ABD registers on the
+// cluster, so the Afek snapshot (and all of internal/core) runs over message
+// passing.
+func Provider[T any](c *Cluster) snapshot.Provider[T] {
+	return func(n int, initial T) []snapshot.Register[T] {
+		regs := make([]snapshot.Register[T], n)
+		for i := range regs {
+			regs[i] = NewRegister(c, initial)
+		}
+		return regs
+	}
+}

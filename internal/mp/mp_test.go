@@ -1,0 +1,147 @@
+package mp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/conslist"
+	"repro/internal/core"
+	"repro/internal/genlin"
+	"repro/internal/impls"
+	"repro/internal/snapshot"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+func TestRegisterSequential(t *testing.T) {
+	c := NewCluster(3)
+	defer c.Close()
+	r := NewRegister(c, int64(7))
+	if got := r.Load(0); got != 7 {
+		t.Fatalf("initial Load = %d, want 7", got)
+	}
+	r.Store(0, 42)
+	if got := r.Load(1); got != 42 {
+		t.Fatalf("Load = %d, want 42", got)
+	}
+	r.Store(1, 43)
+	if got := r.Load(0); got != 43 {
+		t.Fatalf("Load = %d, want 43", got)
+	}
+}
+
+func TestRegisterLinearizableStress(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		c := NewCluster(5)
+		r := NewRegister(c, int64(0))
+		rec := trace.NewRecorder()
+		var uniq trace.UniqSource
+		var wg sync.WaitGroup
+		for p := 0; p < 3; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				for i := 0; i < 6; i++ {
+					if (i+p+int(seed))%2 == 0 {
+						v := int64(p*100 + i + 1)
+						op := spec.Operation{Method: spec.MethodWrite, Arg: v, Uniq: uniq.Next()}
+						rec.Invoke(p, op)
+						r.Store(p, v)
+						rec.Return(p, op, spec.OKResp())
+					} else {
+						op := spec.Operation{Method: spec.MethodRead, Uniq: uniq.Next()}
+						rec.Invoke(p, op)
+						v := r.Load(p)
+						rec.Return(p, op, spec.ValueResp(v))
+					}
+				}
+			}(p)
+		}
+		wg.Wait()
+		c.Close()
+		h := rec.History()
+		if !check.IsLinearizable(spec.Register(0), h) {
+			t.Fatalf("seed %d: ABD register not linearizable:\n%s", seed, h.String())
+		}
+	}
+}
+
+func TestRegisterSurvivesMinorityCrash(t *testing.T) {
+	c := NewCluster(5)
+	defer c.Close()
+	r := NewRegister(c, int64(0))
+	r.Store(0, 1)
+	c.CrashReplica(0)
+	c.CrashReplica(3)
+	r.Store(0, 2)
+	if got := r.Load(1); got != 2 {
+		t.Fatalf("Load after minority crash = %d, want 2", got)
+	}
+}
+
+func TestAfekOverABD(t *testing.T) {
+	c := NewCluster(3)
+	defer c.Close()
+	snap := snapshot.NewAfekOver[int64](2, Provider[snapshot.Cell[int64]](c))
+	snap.Update(0, 10)
+	snap.Update(1, 20)
+	got := snap.Scan(0)
+	if got[0] != 10 || got[1] != 20 {
+		t.Fatalf("Scan = %v", got)
+	}
+}
+
+// TestEnforcedOverMessagePassing is experiment E13: the self-enforced
+// implementation runs unchanged over the ABD emulation with a crashed
+// replica minority — no false errors on a correct queue, detection on a
+// faulty one.
+func TestEnforcedOverMessagePassing(t *testing.T) {
+	const procs = 2
+	c := NewCluster(5)
+	defer c.Close()
+	c.CrashReplica(1)
+	c.CrashReplica(4)
+
+	obj := genlin.Linearizability(spec.Queue())
+	build := func(inner core.Implementation) *core.Enforced {
+		drv := core.NewDRV(inner, procs, core.WithSnapshot(
+			snapshot.NewAfekOver[*conslist.Node[core.Ann]](procs, Provider[snapshot.Cell[*conslist.Node[core.Ann]]](c))))
+		return core.NewEnforcedOver(core.NewVerifier(drv, obj, core.WithResultSnapshot(
+			snapshot.NewAfekOver[*conslist.Node[core.Tuple]](procs, Provider[snapshot.Cell[*conslist.Node[core.Tuple]]](c)))))
+	}
+
+	// Correct queue: no errors.
+	e := build(impls.NewMSQueue())
+	var uniq trace.UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			gen := trace.NewOpGen("queue", int64(p), &uniq)
+			for i := 0; i < 6; i++ {
+				if _, rep := e.Apply(p, gen.Next()); rep != nil {
+					t.Errorf("false ERROR over message passing:\n%s", rep.Witness.String())
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Faulty queue: detection still works.
+	f := build(impls.NewFaulty(impls.NewMSQueue(), impls.PhantomValue, 2, 3))
+	gen := trace.NewOpGen("queue", 9, &uniq)
+	detected := false
+	for i := 0; i < 100 && !detected; i++ {
+		_, rep := f.Apply(0, gen.Next())
+		detected = rep != nil
+	}
+	if !detected {
+		t.Fatal("faulty queue undetected over message passing")
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import "repro/internal/snapshot"
+
+// simRegister is a shared register whose every access is one scheduled step
+// of the calling process. Exclusive execution of steps makes the plain field
+// access safe.
+type simRegister[T any] struct {
+	s *Sim
+	v T
+}
+
+func (r *simRegister[T]) Load(proc int) T {
+	var out T
+	(&Env{p: r.s.procs[proc]}).Step(func() { out = r.v })
+	return out
+}
+
+func (r *simRegister[T]) Store(proc int, v T) {
+	(&Env{p: r.s.procs[proc]}).Step(func() { r.v = v })
+}
+
+// Provider returns a snapshot.Provider backed by the simulation: algorithms
+// built over it (e.g. the Afek snapshot) execute one scheduled step per
+// register access, so adversarial schedules can drive them into their corner
+// cases deterministically.
+//
+// The registers must only be accessed from program goroutines spawned on s,
+// passing the program's own process id.
+func Provider[T any](s *Sim) snapshot.Provider[T] {
+	return func(n int, initial T) []snapshot.Register[T] {
+		regs := make([]snapshot.Register[T], n)
+		for i := range regs {
+			regs[i] = &simRegister[T]{s: s, v: initial}
+		}
+		return regs
+	}
+}

@@ -1,0 +1,216 @@
+// Package sim implements the paper's model of computation (§2) directly: n
+// asynchronous processes that execute atomic base-object steps one at a time
+// under a schedule chosen by an adversary. Unlike the Go runtime scheduler,
+// sim schedules are explicit, deterministic and replayable, which is what the
+// indistinguishability argument of Theorem 5.1 needs: the same programs run
+// under two schedules and their local views are compared step by step.
+//
+// Programs are ordinary Go functions that perform all shared-memory access
+// inside Env.Step closures; the scheduler runs exactly one step at a time, so
+// step closures may touch shared Go data without further synchronisation
+// (the grant/ack channel pair orders them).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// killed is the sentinel panic used to unwind a process goroutine when the
+// simulation shuts down before the program finishes. It never escapes the
+// package.
+type killed struct{}
+
+// Proc is one simulated process.
+type Proc struct {
+	id       int
+	name     string
+	grant    chan bool // scheduler -> proc: true = run one step, false = die
+	ack      chan struct{}
+	exited   chan struct{}
+	finished bool
+	crashed  bool
+	steps    int
+}
+
+// ID returns the process index.
+func (p *Proc) ID() int { return p.id }
+
+// Steps returns how many steps the process has executed.
+func (p *Proc) Steps() int { return p.steps }
+
+// Finished reports whether the program returned.
+func (p *Proc) Finished() bool { return p.finished }
+
+// Env is the handle a program uses to execute steps.
+type Env struct {
+	p *Proc
+}
+
+// ID returns the index of the process running this program.
+func (e *Env) ID() int { return e.p.id }
+
+// Step executes action as a single atomic base-object step. It blocks until
+// the scheduler grants the step; the action runs exclusively.
+func (e *Env) Step(action func()) {
+	run, ok := <-e.p.grant
+	if !ok || !run {
+		panic(killed{})
+	}
+	action()
+	e.p.steps++
+	e.p.ack <- struct{}{}
+}
+
+// Sim is the deterministic scheduler.
+type Sim struct {
+	procs []*Proc
+	// start gates program execution: goroutines spawned by Spawn wait for it
+	// so that all Spawn calls finish (and the procs slice is frozen) before
+	// any program code runs.
+	start     chan struct{}
+	startOnce sync.Once
+}
+
+// New returns an empty simulation.
+func New() *Sim { return &Sim{start: make(chan struct{})} }
+
+func (s *Sim) begin() { s.startOnce.Do(func() { close(s.start) }) }
+
+// Spawn adds a process running program and returns it. The program starts
+// blocked on its first step.
+func (s *Sim) Spawn(name string, program func(*Env)) *Proc {
+	p := &Proc{
+		id:     len(s.procs),
+		name:   name,
+		grant:  make(chan bool),
+		ack:    make(chan struct{}),
+		exited: make(chan struct{}),
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		defer close(p.exited)
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(killed); !ok {
+					panic(r) // programming error in the program: surface it
+				}
+			}
+		}()
+		<-s.start
+		program(&Env{p: p})
+	}()
+	return p
+}
+
+// Crash marks a process crashed: it receives no further steps. Its goroutine
+// is unwound when the simulation stops.
+func (s *Sim) Crash(p *Proc) { p.crashed = true }
+
+// Policy chooses the next process to step among the runnable ones.
+type Policy interface {
+	// Next returns an index into runnable (not a process id).
+	Next(runnable []*Proc, step int) int
+}
+
+// RoundRobin cycles through runnable processes.
+type RoundRobin struct{}
+
+// Next implements Policy.
+func (RoundRobin) Next(runnable []*Proc, step int) int { return step % len(runnable) }
+
+// Seeded picks uniformly at random with a fixed seed.
+type Seeded struct {
+	rng *rand.Rand
+}
+
+// NewSeeded returns a seeded random policy.
+func NewSeeded(seed int64) *Seeded { return &Seeded{rng: rand.New(rand.NewSource(seed))} }
+
+// Next implements Policy.
+func (p *Seeded) Next(runnable []*Proc, _ int) int { return p.rng.Intn(len(runnable)) }
+
+// Script replays an explicit sequence of process ids, then falls back to
+// round-robin. Ids in the script that are not runnable are skipped.
+type Script struct {
+	Order []int
+	pos   int
+}
+
+// Next implements Policy.
+func (sc *Script) Next(runnable []*Proc, step int) int {
+	for sc.pos < len(sc.Order) {
+		want := sc.Order[sc.pos]
+		sc.pos++
+		for i, p := range runnable {
+			if p.id == want {
+				return i
+			}
+		}
+	}
+	return step % len(runnable)
+}
+
+// Stats summarises a run.
+type Stats struct {
+	Steps int
+	// StepsByProc[i] is the number of steps process i executed.
+	StepsByProc []int
+}
+
+// Run schedules steps under policy until no process is runnable or maxSteps
+// steps have been granted. It can be called repeatedly to continue a run with
+// a different policy.
+func (s *Sim) Run(policy Policy, maxSteps int) Stats {
+	s.begin()
+	stats := Stats{StepsByProc: make([]int, len(s.procs))}
+	for stats.Steps < maxSteps {
+		var runnable []*Proc
+		for _, p := range s.procs {
+			if !p.finished && !p.crashed {
+				runnable = append(runnable, p)
+			}
+		}
+		if len(runnable) == 0 {
+			break
+		}
+		p := runnable[policy.Next(runnable, stats.Steps)]
+		select {
+		case p.grant <- true:
+			<-p.ack
+			stats.Steps++
+			stats.StepsByProc[p.id]++
+		case <-p.exited:
+			p.finished = true
+		}
+	}
+	return stats
+}
+
+// Stop unwinds every process goroutine that is still blocked on a step. The
+// simulation cannot be used afterwards.
+func (s *Sim) Stop() {
+	s.begin()
+	for _, p := range s.procs {
+		if p.finished {
+			continue
+		}
+		select {
+		case p.grant <- false:
+			<-p.exited
+			p.finished = true
+		case <-p.exited:
+			p.finished = true
+		}
+	}
+}
+
+// String describes the simulation state.
+func (s *Sim) String() string {
+	out := ""
+	for _, p := range s.procs {
+		out += fmt.Sprintf("p%d(%s): steps=%d finished=%v crashed=%v\n", p.id+1, p.name, p.steps, p.finished, p.crashed)
+	}
+	return out
+}

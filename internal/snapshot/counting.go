@@ -1,0 +1,48 @@
+package snapshot
+
+import "sync/atomic"
+
+// StepCounter tallies base-object steps (register Loads and Stores) flowing
+// through a CountingProvider. It is how the repository measures the paper's
+// step-complexity claims (Lemma 7.2, Claim 8.1) rather than asserting them.
+type StepCounter struct {
+	Loads  atomic.Int64
+	Stores atomic.Int64
+}
+
+// Total returns Loads+Stores.
+func (c *StepCounter) Total() int64 { return c.Loads.Load() + c.Stores.Load() }
+
+// Reset zeroes the counter.
+func (c *StepCounter) Reset() {
+	c.Loads.Store(0)
+	c.Stores.Store(0)
+}
+
+type countingReg[T any] struct {
+	inner Register[T]
+	c     *StepCounter
+}
+
+func (r *countingReg[T]) Load(p int) T {
+	r.c.Loads.Add(1)
+	return r.inner.Load(p)
+}
+
+func (r *countingReg[T]) Store(p int, v T) {
+	r.c.Stores.Add(1)
+	r.inner.Store(p, v)
+}
+
+// CountingProvider wraps a register provider so every Load and Store is
+// counted in c.
+func CountingProvider[T any](inner Provider[T], c *StepCounter) Provider[T] {
+	return func(n int, initial T) []Register[T] {
+		regs := inner(n, initial)
+		out := make([]Register[T], n)
+		for i := range regs {
+			out[i] = &countingReg[T]{inner: regs[i], c: c}
+		}
+		return out
+	}
+}

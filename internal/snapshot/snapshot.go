@@ -1,0 +1,261 @@
+// Package snapshot implements the wait-free linearizable snapshot object of
+// Definition 7.3: an n-entry array with per-process Update (the paper's
+// Write) and an atomic Scan (the paper's Snapshot) of all entries.
+//
+// Three implementations are provided:
+//
+//   - Afek: the read/write-only wait-free algorithm of Afek, Attiya, Dolev,
+//     Gafni, Merritt and Shavit [1], the construction the paper's algorithms
+//     rely on to stay at consensus number one. O(n²) base steps per
+//     operation.
+//   - CAS: a copy-on-write array behind a single compare-and-swap pointer.
+//     Linearizable and lock-free but not read/write-only; an engineering
+//     baseline for the benchmarks.
+//   - Mutex: a lock-based reference implementation; blocking, used as the
+//     correctness oracle and to demonstrate the progress-weakening the paper
+//     warns about in §1.3.
+//
+// The Afek algorithm is written against the Register interface so the same
+// code runs over native atomics, over the deterministic scheduler of
+// internal/sim, and over the ABD message-passing emulation of internal/mp
+// (§9.4).
+package snapshot
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Snapshot is the shared object of Definition 7.3. Implementations must be
+// safe for concurrent use; index p identifies the calling process and each
+// process must be the only caller of Update for its own index (single-writer
+// entries, as in the paper).
+type Snapshot[T any] interface {
+	// Update writes v into entry p (the paper's N.Write(v) by process p).
+	Update(p int, v T)
+	// Scan returns an atomic view of all n entries (the paper's Snapshot()).
+	Scan(p int) []T
+	// N returns the number of entries.
+	N() int
+	// Name identifies the implementation for benchmarks.
+	Name() string
+}
+
+// Register is a single-writer multi-reader atomic register. The proc
+// argument identifies the calling process; native registers ignore it, while
+// simulated and message-passing registers use it to charge the access to the
+// caller (one base-object step, one quorum round trip, ...).
+type Register[T any] interface {
+	Load(proc int) T
+	Store(proc int, v T)
+}
+
+// Provider allocates n single-writer registers initialised to initial.
+// It abstracts the memory substrate: native atomics, the deterministic
+// simulator, or ABD message-passing registers.
+type Provider[T any] func(n int, initial T) []Register[T]
+
+// nativeReg is a Register over a native atomic pointer.
+type nativeReg[T any] struct {
+	p atomic.Pointer[T]
+}
+
+func (r *nativeReg[T]) Load(int) T       { return *r.p.Load() }
+func (r *nativeReg[T]) Store(_ int, v T) { r.p.Store(&v) }
+
+// NativeRegisters is the Provider backed by Go's atomic pointers.
+func NativeRegisters[T any](n int, initial T) []Register[T] {
+	regs := make([]Register[T], n)
+	for i := range regs {
+		r := &nativeReg[T]{}
+		r.Store(0, initial)
+		regs[i] = r
+	}
+	return regs
+}
+
+// ---------------------------------------------------------------------------
+// Afek et al. read/write wait-free snapshot
+// ---------------------------------------------------------------------------
+
+// Cell is the content of one register of the Afek snapshot: the application
+// value, the writer's sequence number, and the writer's embedded scan. It is
+// exported so register providers (simulated memory, ABD) can be instantiated
+// for it; its fields are internal to the algorithm.
+type Cell[T any] struct {
+	val  T
+	seq  uint64
+	view []T
+}
+
+// Afek is the wait-free read/write snapshot of [1].
+type Afek[T any] struct {
+	n    int
+	regs []Register[Cell[T]]
+	seqs []uint64 // seqs[p] is written only by process p
+}
+
+// NewAfek returns an Afek snapshot over native atomic registers, all entries
+// initialised to the zero value of T.
+func NewAfek[T any](n int) *Afek[T] {
+	return NewAfekOver[T](n, func(m int, init Cell[T]) []Register[Cell[T]] {
+		return NativeRegisters(m, init)
+	})
+}
+
+// NewAfekOver returns an Afek snapshot over the given register provider.
+func NewAfekOver[T any](n int, provider Provider[Cell[T]]) *Afek[T] {
+	var zero T
+	return &Afek[T]{
+		n:    n,
+		regs: provider(n, Cell[T]{val: zero, view: make([]T, n)}),
+		seqs: make([]uint64, n),
+	}
+}
+
+// N returns the number of entries.
+func (s *Afek[T]) N() int { return s.n }
+
+// Name identifies the implementation.
+func (s *Afek[T]) Name() string { return "afek" }
+
+func (s *Afek[T]) collect(proc int) []Cell[T] {
+	out := make([]Cell[T], s.n)
+	for i := 0; i < s.n; i++ {
+		out[i] = s.regs[i].Load(proc)
+	}
+	return out
+}
+
+// scan performs the double-collect loop and returns a linearizable view.
+func (s *Afek[T]) scan(proc int) []T {
+	moved := make([]int, s.n)
+	prev := s.collect(proc)
+	for {
+		cur := s.collect(proc)
+		same := true
+		for i := 0; i < s.n; i++ {
+			if prev[i].seq != cur[i].seq {
+				same = false
+				break
+			}
+		}
+		if same {
+			// Clean double collect: the second collect is an atomic view.
+			out := make([]T, s.n)
+			for i := range cur {
+				out[i] = cur[i].val
+			}
+			return out
+		}
+		for i := 0; i < s.n; i++ {
+			if prev[i].seq != cur[i].seq {
+				moved[i]++
+				if moved[i] >= 2 {
+					// Process i completed a whole Update inside our scan, so
+					// its embedded view was taken inside our interval: borrow.
+					out := make([]T, s.n)
+					copy(out, cur[i].view)
+					return out
+				}
+			}
+		}
+		prev = cur
+	}
+}
+
+// Scan returns an atomic view of all entries.
+func (s *Afek[T]) Scan(proc int) []T { return s.scan(proc) }
+
+// Update writes v into entry p. It embeds a fresh scan so concurrent
+// scanners can borrow it (the helping mechanism making Scan wait-free).
+func (s *Afek[T]) Update(p int, v T) {
+	view := s.scan(p)
+	s.seqs[p]++
+	s.regs[p].Store(p, Cell[T]{val: v, seq: s.seqs[p], view: view})
+}
+
+// ---------------------------------------------------------------------------
+// CAS copy-on-write snapshot
+// ---------------------------------------------------------------------------
+
+// CAS is a lock-free snapshot behind a single compare-and-swap pointer to an
+// immutable array. It is not read/write-only (CAS has infinite consensus
+// number); the paper's algorithms do not need it, but it makes a useful
+// performance baseline.
+type CAS[T any] struct {
+	n   int
+	arr atomic.Pointer[[]T]
+}
+
+// NewCAS returns a CAS snapshot with all entries zero.
+func NewCAS[T any](n int) *CAS[T] {
+	s := &CAS[T]{n: n}
+	init := make([]T, n)
+	s.arr.Store(&init)
+	return s
+}
+
+// N returns the number of entries.
+func (s *CAS[T]) N() int { return s.n }
+
+// Name identifies the implementation.
+func (s *CAS[T]) Name() string { return "cas" }
+
+// Update writes v into entry p via a copy-on-write CAS loop.
+func (s *CAS[T]) Update(p int, v T) {
+	for {
+		old := s.arr.Load()
+		next := make([]T, s.n)
+		copy(next, *old)
+		next[p] = v
+		if s.arr.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
+
+// Scan returns the current immutable array; callers must not modify it.
+func (s *CAS[T]) Scan(_ int) []T {
+	out := make([]T, s.n)
+	copy(out, *s.arr.Load())
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Mutex reference snapshot
+// ---------------------------------------------------------------------------
+
+// Mutex is the blocking reference snapshot.
+type Mutex[T any] struct {
+	mu  sync.Mutex
+	n   int
+	arr []T
+}
+
+// NewMutex returns a mutex snapshot with all entries zero.
+func NewMutex[T any](n int) *Mutex[T] {
+	return &Mutex[T]{n: n, arr: make([]T, n)}
+}
+
+// N returns the number of entries.
+func (s *Mutex[T]) N() int { return s.n }
+
+// Name identifies the implementation.
+func (s *Mutex[T]) Name() string { return "mutex" }
+
+// Update writes v into entry p.
+func (s *Mutex[T]) Update(p int, v T) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.arr[p] = v
+}
+
+// Scan returns a copy of all entries.
+func (s *Mutex[T]) Scan(_ int) []T {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]T, s.n)
+	copy(out, s.arr)
+	return out
+}

@@ -1,0 +1,145 @@
+package snapshot
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// stress runs procs goroutines of interleaved Updates and Scans against impl,
+// records the real-time history and checks it linearizable against the
+// sequential snapshot specification.
+func stress(t *testing.T, impl Snapshot[int64], procs, opsPerProc int, seed int64) {
+	t.Helper()
+	rec := trace.NewRecorder()
+	var uniq trace.UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			v := int64(p + 1)
+			for i := 0; i < opsPerProc; i++ {
+				if (int64(i)+seed)%3 == 0 {
+					op := spec.Operation{Method: spec.MethodRead, Uniq: uniq.Next()}
+					rec.Invoke(p, op)
+					view := impl.Scan(p)
+					rec.Return(p, op, spec.ValueResp(spec.HashVec(view)))
+				} else {
+					val := v
+					v += int64(procs)
+					op := spec.Operation{Method: spec.MethodWrite, Arg: spec.PackUpdate(p, val), Uniq: uniq.Next()}
+					rec.Invoke(p, op)
+					impl.Update(p, val)
+					rec.Return(p, op, spec.OKResp())
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.History()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("recorded history invalid: %v", err)
+	}
+	if !check.IsLinearizable(spec.SnapshotObj(impl.N()), h) {
+		t.Fatalf("%s: non-linearizable snapshot history (seed %d):\n%s", impl.Name(), seed, h.String())
+	}
+}
+
+func TestAfekLinearizableUnderStress(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		stress(t, NewAfek[int64](3), 3, 5, seed)
+	}
+}
+
+func TestCASLinearizableUnderStress(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		stress(t, NewCAS[int64](3), 3, 5, seed)
+	}
+}
+
+func TestMutexLinearizableUnderStress(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		stress(t, NewMutex[int64](3), 3, 5, seed)
+	}
+}
+
+func TestSequentialSemantics(t *testing.T) {
+	impls := []Snapshot[int64]{NewAfek[int64](4), NewCAS[int64](4), NewMutex[int64](4)}
+	for _, s := range impls {
+		if s.N() != 4 {
+			t.Fatalf("%s: N = %d", s.Name(), s.N())
+		}
+		got := s.Scan(0)
+		for i, v := range got {
+			if v != 0 {
+				t.Fatalf("%s: initial entry %d = %d, want 0", s.Name(), i, v)
+			}
+		}
+		s.Update(1, 11)
+		s.Update(3, 33)
+		got = s.Scan(2)
+		want := []int64{0, 11, 0, 33}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: Scan = %v, want %v", s.Name(), got, want)
+			}
+		}
+		s.Update(1, 12)
+		if got := s.Scan(0)[1]; got != 12 {
+			t.Fatalf("%s: overwrite lost: %d", s.Name(), got)
+		}
+	}
+}
+
+// TestAfekScanBorrow drives the helping path: a scanner that keeps observing
+// movement must terminate by borrowing an embedded view (wait-freedom).
+func TestAfekScanBorrow(t *testing.T) {
+	s := NewAfek[int64](2)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s.Update(0, v)
+				v++
+			}
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		view := s.Scan(1)
+		if len(view) != 2 {
+			t.Fatalf("scan returned %d entries", len(view))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestScanViewsAreIsolated: mutating a returned view must not affect the
+// snapshot (guide: copy slices at boundaries).
+func TestScanViewsAreIsolated(t *testing.T) {
+	impls := []Snapshot[int64]{NewAfek[int64](2), NewCAS[int64](2), NewMutex[int64](2)}
+	for _, s := range impls {
+		view := s.Scan(0)
+		view[0] = 999
+		if got := s.Scan(0)[0]; got != 0 {
+			t.Fatalf("%s: scan view aliased internal state", s.Name())
+		}
+	}
+}
+
+func TestSnapshotNames(t *testing.T) {
+	if NewAfek[int64](2).Name() != "afek" || NewCAS[int64](2).Name() != "cas" || NewMutex[int64](2).Name() != "mutex" {
+		t.Fatal("names wrong")
+	}
+}

@@ -1,0 +1,385 @@
+package spec
+
+import (
+	"sort"
+	"strconv"
+)
+
+// appendInts encodes vs into b as a canonical comma-separated list.
+func appendInts(b []byte, vs []int64) []byte {
+	for i, v := range vs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, v, 10)
+	}
+	return b
+}
+
+// ---------------------------------------------------------------------------
+// Queue (FIFO)
+// ---------------------------------------------------------------------------
+
+type queueModel struct{}
+
+// Queue returns the sequential FIFO queue: Enq(v):ok, Deq():v or empty.
+func Queue() Model { return queueModel{} }
+
+func (queueModel) Name() string { return "queue" }
+func (queueModel) Init() State  { return queueState(nil) }
+
+// queueState holds values front-first.
+type queueState []int64
+
+func (q queueState) Apply(op Operation) (State, Response, bool) {
+	switch op.Method {
+	case MethodEnq:
+		next := make(queueState, len(q)+1)
+		copy(next, q)
+		next[len(q)] = op.Arg
+		return next, OKResp(), true
+	case MethodDeq:
+		if len(q) == 0 {
+			return q, EmptyResp(), true
+		}
+		next := make(queueState, len(q)-1)
+		copy(next, q[1:])
+		return next, ValueResp(q[0]), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (q queueState) Key() string {
+	return string(appendInts(append(make([]byte, 0, 2+8*len(q)), 'q', ':'), q))
+}
+
+// ---------------------------------------------------------------------------
+// Stack (LIFO)
+// ---------------------------------------------------------------------------
+
+type stackModel struct{}
+
+// Stack returns the sequential LIFO stack: Push(v):true, Pop():v or empty.
+func Stack() Model { return stackModel{} }
+
+func (stackModel) Name() string { return "stack" }
+func (stackModel) Init() State  { return stackState(nil) }
+
+// stackState holds values bottom-first.
+type stackState []int64
+
+func (s stackState) Apply(op Operation) (State, Response, bool) {
+	switch op.Method {
+	case MethodPush:
+		next := make(stackState, len(s)+1)
+		copy(next, s)
+		next[len(s)] = op.Arg
+		return next, BoolResp(true), true
+	case MethodPop:
+		if len(s) == 0 {
+			return s, EmptyResp(), true
+		}
+		next := make(stackState, len(s)-1)
+		copy(next, s[:len(s)-1])
+		return next, ValueResp(s[len(s)-1]), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (s stackState) Key() string {
+	return string(appendInts(append(make([]byte, 0, 2+8*len(s)), 's', ':'), s))
+}
+
+// ---------------------------------------------------------------------------
+// Set
+// ---------------------------------------------------------------------------
+
+type setModel struct{}
+
+// Set returns the sequential integer set: Add(v):true/false (false if already
+// present), Remove(v):true/false, Contains(v):true/false.
+func Set() Model { return setModel{} }
+
+func (setModel) Name() string { return "set" }
+func (setModel) Init() State  { return setState(nil) }
+
+// setState holds members in strictly ascending order.
+type setState []int64
+
+func (s setState) index(v int64) (int, bool) {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i, i < len(s) && s[i] == v
+}
+
+func (s setState) Apply(op Operation) (State, Response, bool) {
+	i, present := s.index(op.Arg)
+	switch op.Method {
+	case MethodAdd:
+		if present {
+			return s, BoolResp(false), true
+		}
+		next := make(setState, len(s)+1)
+		copy(next, s[:i])
+		next[i] = op.Arg
+		copy(next[i+1:], s[i:])
+		return next, BoolResp(true), true
+	case MethodRemove:
+		if !present {
+			return s, BoolResp(false), true
+		}
+		next := make(setState, len(s)-1)
+		copy(next, s[:i])
+		copy(next[i:], s[i+1:])
+		return next, BoolResp(true), true
+	case MethodContains:
+		return s, BoolResp(present), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (s setState) Key() string {
+	return string(appendInts(append(make([]byte, 0, 2+8*len(s)), 'e', ':'), s))
+}
+
+// ---------------------------------------------------------------------------
+// Priority queue (min-first, duplicates allowed)
+// ---------------------------------------------------------------------------
+
+type pqueueModel struct{}
+
+// PQueue returns the sequential min-priority queue: Insert(v):ok,
+// ExtractMin():v or empty.
+func PQueue() Model { return pqueueModel{} }
+
+func (pqueueModel) Name() string { return "pqueue" }
+func (pqueueModel) Init() State  { return pqueueState(nil) }
+
+// pqueueState holds the multiset in ascending order.
+type pqueueState []int64
+
+func (p pqueueState) Apply(op Operation) (State, Response, bool) {
+	switch op.Method {
+	case MethodInsert:
+		i := sort.Search(len(p), func(i int) bool { return p[i] >= op.Arg })
+		next := make(pqueueState, len(p)+1)
+		copy(next, p[:i])
+		next[i] = op.Arg
+		copy(next[i+1:], p[i:])
+		return next, OKResp(), true
+	case MethodMin:
+		if len(p) == 0 {
+			return p, EmptyResp(), true
+		}
+		next := make(pqueueState, len(p)-1)
+		copy(next, p[1:])
+		return next, ValueResp(p[0]), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (p pqueueState) Key() string {
+	return string(appendInts(append(make([]byte, 0, 2+8*len(p)), 'p', ':'), p))
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+type counterModel struct{}
+
+// Counter returns the sequential counter: Inc():ok (adds one), Read():v.
+func Counter() Model { return counterModel{} }
+
+func (counterModel) Name() string { return "counter" }
+func (counterModel) Init() State  { return counterState(0) }
+
+type counterState int64
+
+func (c counterState) Apply(op Operation) (State, Response, bool) {
+	switch op.Method {
+	case MethodInc:
+		return c + 1, OKResp(), true
+	case MethodRead:
+		return c, ValueResp(int64(c)), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (c counterState) Key() string { return "c:" + strconv.FormatInt(int64(c), 10) }
+
+// ---------------------------------------------------------------------------
+// Register
+// ---------------------------------------------------------------------------
+
+type registerModel struct{ initial int64 }
+
+// Register returns the sequential read/write register with the given initial
+// value: Write(v):ok, Read():v.
+func Register(initial int64) Model { return registerModel{initial: initial} }
+
+func (registerModel) Name() string  { return "register" }
+func (m registerModel) Init() State { return registerState(m.initial) }
+
+type registerState int64
+
+func (r registerState) Apply(op Operation) (State, Response, bool) {
+	switch op.Method {
+	case MethodWrite:
+		return registerState(op.Arg), OKResp(), true
+	case MethodRead:
+		return r, ValueResp(int64(r)), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (r registerState) Key() string { return "r:" + strconv.FormatInt(int64(r), 10) }
+
+// ---------------------------------------------------------------------------
+// Consensus (as a sequential object, §5)
+// ---------------------------------------------------------------------------
+
+type consensusModel struct{}
+
+// Consensus returns the consensus problem modelled as a sequential object as
+// in Theorem 5.1: a single Decide operation that can be invoked several times;
+// the first Decide among all processes sets its input as the decision, and
+// every Decide returns the decision.
+func Consensus() Model { return consensusModel{} }
+
+func (consensusModel) Name() string { return "consensus" }
+func (consensusModel) Init() State  { return consensusState{} }
+
+type consensusState struct {
+	decided bool
+	val     int64
+}
+
+func (c consensusState) Apply(op Operation) (State, Response, bool) {
+	if op.Method != MethodDecide {
+		return nil, Response{}, false
+	}
+	if !c.decided {
+		next := consensusState{decided: true, val: op.Arg}
+		return next, ValueResp(op.Arg), true
+	}
+	return c, ValueResp(c.val), true
+}
+
+func (c consensusState) Key() string {
+	if !c.decided {
+		return "d:_"
+	}
+	return "d:" + strconv.FormatInt(c.val, 10)
+}
+
+// ByName returns the model with the given Name, or ok=false. It is used by
+// command-line tools to select a model.
+func ByName(name string) (Model, bool) {
+	switch name {
+	case "queue":
+		return Queue(), true
+	case "stack":
+		return Stack(), true
+	case "set":
+		return Set(), true
+	case "pqueue":
+		return PQueue(), true
+	case "counter":
+		return Counter(), true
+	case "register":
+		return Register(0), true
+	case "consensus":
+		return Consensus(), true
+	default:
+		return nil, false
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (Definition 7.3, as a sequential object)
+// ---------------------------------------------------------------------------
+
+// PackUpdate encodes an Update by process p with value v (v must fit 32 bits)
+// as the argument of a MethodWrite operation on the snapshot object.
+func PackUpdate(p int, v int64) int64 { return int64(p)<<32 | (v & 0xFFFFFFFF) }
+
+// HashVec hashes an entry vector; Scan operations on the snapshot object
+// respond with this hash so responses fit in a Response.
+func HashVec(vals []int64) int64 {
+	h := int64(1469598103934665603)
+	for _, v := range vals {
+		h = h*1099511628211 + v
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+type snapshotModel struct{ n int }
+
+// SnapshotObj returns the sequential specification of the n-entry snapshot
+// object of Definition 7.3: MethodWrite with a PackUpdate argument updates
+// one entry; MethodRead responds with HashVec of all entries.
+func SnapshotObj(n int) Model { return snapshotModel{n: n} }
+
+func (m snapshotModel) Name() string { return "snapshot" }
+func (m snapshotModel) Init() State  { return snapshotState{vals: string(make([]byte, 0)), n: m.n} }
+
+// snapshotState stores the canonical encoding of the entries.
+type snapshotState struct {
+	vals string // comma-separated; empty means all zero
+	n    int
+}
+
+func (s snapshotState) vector() []int64 {
+	vals := make([]int64, s.n)
+	if s.vals == "" {
+		return vals
+	}
+	idx := 0
+	var cur int64
+	neg := false
+	for i := 0; i <= len(s.vals); i++ {
+		if i == len(s.vals) || s.vals[i] == ',' {
+			if neg {
+				cur = -cur
+			}
+			vals[idx] = cur
+			idx++
+			cur, neg = 0, false
+			continue
+		}
+		if s.vals[i] == '-' {
+			neg = true
+			continue
+		}
+		cur = cur*10 + int64(s.vals[i]-'0')
+	}
+	return vals
+}
+
+func (s snapshotState) Apply(op Operation) (State, Response, bool) {
+	vals := s.vector()
+	switch op.Method {
+	case MethodWrite:
+		p := int(op.Arg >> 32)
+		if p < 0 || p >= s.n {
+			return nil, Response{}, false
+		}
+		vals[p] = op.Arg & 0xFFFFFFFF
+		return snapshotState{vals: string(appendInts(nil, vals)), n: s.n}, OKResp(), true
+	case MethodRead:
+		return s, ValueResp(HashVec(vals)), true
+	default:
+		return nil, Response{}, false
+	}
+}
+
+func (s snapshotState) Key() string { return "n:" + s.vals }

@@ -1,0 +1,327 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustApply(t *testing.T, st State, op Operation) (State, Response) {
+	t.Helper()
+	next, res, ok := st.Apply(op)
+	if !ok {
+		t.Fatalf("Apply(%v) rejected in state %q", op, st.Key())
+	}
+	return next, res
+}
+
+func op(method string, arg int64) Operation { return Operation{Method: method, Arg: arg} }
+
+func TestQueueFIFO(t *testing.T) {
+	st := Queue().Init()
+	st, _ = mustApply(t, st, op(MethodEnq, 1))
+	st, _ = mustApply(t, st, op(MethodEnq, 2))
+	st, _ = mustApply(t, st, op(MethodEnq, 3))
+	var res Response
+	st, res = mustApply(t, st, op(MethodDeq, 0))
+	if res != ValueResp(1) {
+		t.Fatalf("Deq = %v, want 1", res)
+	}
+	st, res = mustApply(t, st, op(MethodDeq, 0))
+	if res != ValueResp(2) {
+		t.Fatalf("Deq = %v, want 2", res)
+	}
+	st, res = mustApply(t, st, op(MethodDeq, 0))
+	if res != ValueResp(3) {
+		t.Fatalf("Deq = %v, want 3", res)
+	}
+	_, res = mustApply(t, st, op(MethodDeq, 0))
+	if res != EmptyResp() {
+		t.Fatalf("Deq on empty = %v, want empty", res)
+	}
+}
+
+func TestQueueRejectsUnknownMethod(t *testing.T) {
+	if _, _, ok := Queue().Init().Apply(op(MethodPush, 1)); ok {
+		t.Fatal("queue accepted Push")
+	}
+}
+
+func TestStackLIFO(t *testing.T) {
+	st := Stack().Init()
+	st, res := mustApply(t, st, op(MethodPush, 1))
+	if res != BoolResp(true) {
+		t.Fatalf("Push = %v, want true", res)
+	}
+	st, _ = mustApply(t, st, op(MethodPush, 2))
+	st, res = mustApply(t, st, op(MethodPop, 0))
+	if res != ValueResp(2) {
+		t.Fatalf("Pop = %v, want 2", res)
+	}
+	st, res = mustApply(t, st, op(MethodPop, 0))
+	if res != ValueResp(1) {
+		t.Fatalf("Pop = %v, want 1", res)
+	}
+	_, res = mustApply(t, st, op(MethodPop, 0))
+	if res != EmptyResp() {
+		t.Fatalf("Pop on empty = %v, want empty", res)
+	}
+}
+
+func TestSetSemantics(t *testing.T) {
+	st := Set().Init()
+	st, res := mustApply(t, st, op(MethodAdd, 5))
+	if res != BoolResp(true) {
+		t.Fatalf("first Add(5) = %v, want true", res)
+	}
+	st, res = mustApply(t, st, op(MethodAdd, 5))
+	if res != BoolResp(false) {
+		t.Fatalf("second Add(5) = %v, want false", res)
+	}
+	st, res = mustApply(t, st, op(MethodContains, 5))
+	if res != BoolResp(true) {
+		t.Fatalf("Contains(5) = %v, want true", res)
+	}
+	st, res = mustApply(t, st, op(MethodRemove, 5))
+	if res != BoolResp(true) {
+		t.Fatalf("Remove(5) = %v, want true", res)
+	}
+	st, res = mustApply(t, st, op(MethodRemove, 5))
+	if res != BoolResp(false) {
+		t.Fatalf("second Remove(5) = %v, want false", res)
+	}
+	_, res = mustApply(t, st, op(MethodContains, 5))
+	if res != BoolResp(false) {
+		t.Fatalf("Contains(5) after remove = %v, want false", res)
+	}
+}
+
+func TestSetKeepsSortedOrder(t *testing.T) {
+	st := Set().Init()
+	for _, v := range []int64{9, 1, 5, 3, 7} {
+		st, _ = mustApply(t, st, op(MethodAdd, v))
+	}
+	if got, want := st.Key(), "e:1,3,5,7,9"; got != want {
+		t.Fatalf("Key = %q, want %q", got, want)
+	}
+}
+
+func TestPQueueMinOrder(t *testing.T) {
+	st := PQueue().Init()
+	for _, v := range []int64{4, 1, 3, 1} {
+		st, _ = mustApply(t, st, op(MethodInsert, v))
+	}
+	want := []int64{1, 1, 3, 4}
+	for _, w := range want {
+		var res Response
+		st, res = mustApply(t, st, op(MethodMin, 0))
+		if res != ValueResp(w) {
+			t.Fatalf("ExtractMin = %v, want %d", res, w)
+		}
+	}
+	_, res := mustApply(t, st, op(MethodMin, 0))
+	if res != EmptyResp() {
+		t.Fatalf("ExtractMin on empty = %v, want empty", res)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	st := Counter().Init()
+	for i := 0; i < 3; i++ {
+		st, _ = mustApply(t, st, op(MethodInc, 0))
+	}
+	_, res := mustApply(t, st, op(MethodRead, 0))
+	if res != ValueResp(3) {
+		t.Fatalf("Read = %v, want 3", res)
+	}
+}
+
+func TestRegister(t *testing.T) {
+	st := Register(7).Init()
+	_, res := mustApply(t, st, op(MethodRead, 0))
+	if res != ValueResp(7) {
+		t.Fatalf("initial Read = %v, want 7", res)
+	}
+	st, _ = mustApply(t, st, op(MethodWrite, 42))
+	_, res = mustApply(t, st, op(MethodRead, 0))
+	if res != ValueResp(42) {
+		t.Fatalf("Read = %v, want 42", res)
+	}
+}
+
+func TestConsensusFirstDecideWins(t *testing.T) {
+	st := Consensus().Init()
+	st, res := mustApply(t, st, op(MethodDecide, 9))
+	if res != ValueResp(9) {
+		t.Fatalf("first Decide = %v, want 9", res)
+	}
+	_, res = mustApply(t, st, op(MethodDecide, 4))
+	if res != ValueResp(9) {
+		t.Fatalf("second Decide = %v, want 9 (first wins)", res)
+	}
+}
+
+// TestStateImmutability applies random operations and verifies that applying
+// an operation never changes the receiver's Key — states are persistent.
+func TestStateImmutability(t *testing.T) {
+	models := []Model{Queue(), Stack(), Set(), PQueue(), Counter(), Register(0), Consensus()}
+	methods := map[string][]string{
+		"queue":     {MethodEnq, MethodDeq},
+		"stack":     {MethodPush, MethodPop},
+		"set":       {MethodAdd, MethodRemove, MethodContains},
+		"pqueue":    {MethodInsert, MethodMin},
+		"counter":   {MethodInc, MethodRead},
+		"register":  {MethodWrite, MethodRead},
+		"consensus": {MethodDecide},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range models {
+		st := m.Init()
+		for i := 0; i < 200; i++ {
+			ms := methods[m.Name()]
+			o := op(ms[rng.Intn(len(ms))], int64(rng.Intn(8)))
+			before := st.Key()
+			next, _, ok := st.Apply(o)
+			if !ok {
+				t.Fatalf("%s rejected %v", m.Name(), o)
+			}
+			if st.Key() != before {
+				t.Fatalf("%s: Apply(%v) mutated receiver: %q -> %q", m.Name(), o, before, st.Key())
+			}
+			st = next
+		}
+	}
+}
+
+// TestKeyCanonical checks that states reached via different but equivalent
+// operation orders share a Key (set insertion order must not matter).
+func TestKeyCanonical(t *testing.T) {
+	f := func(vals []int8) bool {
+		a := Set().Init()
+		for _, v := range vals {
+			a, _, _ = a.Apply(op(MethodAdd, int64(v)))
+		}
+		b := Set().Init()
+		for i := len(vals) - 1; i >= 0; i-- {
+			b, _, _ = b.Apply(op(MethodAdd, int64(vals[i])))
+		}
+		return a.Key() == b.Key()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOracle(t *testing.T) {
+	o := NewOracle(Queue())
+	if _, ok := o.Apply(op(MethodEnq, 1)); !ok {
+		t.Fatal("oracle rejected Enq")
+	}
+	res, ok := o.Apply(op(MethodDeq, 0))
+	if !ok || res != ValueResp(1) {
+		t.Fatalf("oracle Deq = %v ok=%v, want 1", res, ok)
+	}
+	if _, ok := o.Apply(op(MethodPush, 1)); ok {
+		t.Fatal("oracle accepted Push on queue; state must not move")
+	}
+	res, _ = o.Apply(op(MethodDeq, 0))
+	if res != EmptyResp() {
+		t.Fatalf("oracle Deq = %v, want empty", res)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"queue", "stack", "set", "pqueue", "counter", "register", "consensus"} {
+		m, ok := ByName(name)
+		if !ok || m.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, m, ok)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted unknown model")
+	}
+}
+
+func TestResponseString(t *testing.T) {
+	cases := map[Response]string{
+		OKResp():        "ok",
+		ValueResp(3):    "3",
+		EmptyResp():     "empty",
+		BoolResp(true):  "true",
+		BoolResp(false): "false",
+		{}:              "invalid",
+	}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Fatalf("%#v.String() = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestOperationString(t *testing.T) {
+	if got := op(MethodEnq, 5).String(); got != "Enq(5)" {
+		t.Fatalf("got %q", got)
+	}
+	if got := op(MethodDeq, 0).String(); got != "Deq()" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSnapshotObjModel(t *testing.T) {
+	st := SnapshotObj(3).Init()
+	st, res := mustApply(t, st, Operation{Method: MethodRead})
+	if res != ValueResp(HashVec([]int64{0, 0, 0})) {
+		t.Fatalf("initial Read = %v", res)
+	}
+	st, _ = mustApply(t, st, Operation{Method: MethodWrite, Arg: PackUpdate(1, 42)})
+	_, res = mustApply(t, st, Operation{Method: MethodRead})
+	if res != ValueResp(HashVec([]int64{0, 42, 0})) {
+		t.Fatalf("Read after update = %v", res)
+	}
+	if _, _, ok := st.Apply(Operation{Method: MethodWrite, Arg: PackUpdate(7, 1)}); ok {
+		t.Fatal("out-of-range entry accepted")
+	}
+	if _, _, ok := st.Apply(Operation{Method: MethodEnq, Arg: 1}); ok {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestPackProcSet(t *testing.T) {
+	mask := PackProcSet([]int{0, 2, 5})
+	for p, want := range map[int]bool{0: true, 1: false, 2: true, 3: false, 5: true} {
+		if ProcSetContains(mask, p) != want {
+			t.Fatalf("ProcSetContains(%b, %d) != %v", mask, p, want)
+		}
+	}
+}
+
+func TestImmediateSnapshotModel(t *testing.T) {
+	m := ImmediateSnapshot(3)
+	if m.Name() != "immediate-snapshot" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+	st := m.InitSet()
+	ops := []Operation{
+		{Method: MethodWriteScan, Arg: 0, Uniq: 1},
+		{Method: MethodWriteScan, Arg: 2, Uniq: 2},
+	}
+	next, res, ok := st.ApplySet(ops)
+	if !ok {
+		t.Fatal("legal class rejected")
+	}
+	want := ValueResp(PackProcSet([]int{0, 2}))
+	if res[0] != want || res[1] != want {
+		t.Fatalf("class responses = %v, want %v", res, want)
+	}
+	// One-shot: re-applying the same process fails.
+	if _, _, ok := next.ApplySet(ops[:1]); ok {
+		t.Fatal("second WriteScan by the same process accepted")
+	}
+	// Out-of-range and wrong method.
+	if _, _, ok := st.ApplySet([]Operation{{Method: MethodWriteScan, Arg: 9}}); ok {
+		t.Fatal("out-of-range process accepted")
+	}
+	if _, _, ok := st.ApplySet([]Operation{{Method: MethodEnq, Arg: 0}}); ok {
+		t.Fatal("wrong method accepted")
+	}
+}

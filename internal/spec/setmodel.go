@@ -1,0 +1,84 @@
+package spec
+
+import "strconv"
+
+// MethodWriteScan is the operation of the immediate snapshot object.
+const MethodWriteScan = "WriteScan"
+
+// SetState is one state of a set-sequential specification (set-linearizability
+// [81], one of the GenLin members the paper's results cover): a transition
+// consumes a non-empty concurrency class of operations atomically and
+// produces one response per operation.
+type SetState interface {
+	// ApplySet applies the class and returns the successor state and the
+	// responses, positionally matching ops. ok is false if the class is not
+	// legal in this state.
+	ApplySet(ops []Operation) (next SetState, res []Response, ok bool)
+	// Key returns a canonical encoding for memoisation.
+	Key() string
+}
+
+// SetModel is a set-sequential object.
+type SetModel interface {
+	Name() string
+	InitSet() SetState
+}
+
+// ---------------------------------------------------------------------------
+// Immediate snapshot (the canonical set-linearizable object, [18, 81])
+// ---------------------------------------------------------------------------
+
+// PackProcSet encodes a set of process indices as a bitmask response value.
+func PackProcSet(procs []int) int64 {
+	var m int64
+	for _, p := range procs {
+		m |= 1 << uint(p)
+	}
+	return m
+}
+
+// ProcSetContains reports whether the bitmask includes process p.
+func ProcSetContains(mask int64, p int) bool { return mask&(1<<uint(p)) != 0 }
+
+type immediateSnapshotModel struct{ n int }
+
+// ImmediateSnapshot returns the set-sequential immediate snapshot object for
+// n processes: WriteScan by a set of processes applied as one concurrency
+// class moves the state from S to S ∪ class, and every operation of the
+// class receives exactly S ∪ class (encoded as a process bitmask). The object
+// is set-linearizable but not linearizable: distinct processes may receive
+// identical sets, which no interleaving of atomic operations produces.
+func ImmediateSnapshot(n int) SetModel { return immediateSnapshotModel{n: n} }
+
+func (m immediateSnapshotModel) Name() string { return "immediate-snapshot" }
+
+func (m immediateSnapshotModel) InitSet() SetState { return isState{written: 0, n: m.n} }
+
+type isState struct {
+	written int64 // bitmask of processes that have written
+	n       int
+}
+
+func (s isState) ApplySet(ops []Operation) (SetState, []Response, bool) {
+	next := s.written
+	for _, op := range ops {
+		if op.Method != MethodWriteScan {
+			return nil, nil, false
+		}
+		p := int(op.Arg) // Arg carries the writing process index
+		if p < 0 || p >= s.n {
+			return nil, nil, false
+		}
+		if s.written&(1<<uint(p)) != 0 {
+			return nil, nil, false // one-shot per process
+		}
+		next |= 1 << uint(p)
+	}
+	res := make([]Response, len(ops))
+	for i := range ops {
+		res[i] = ValueResp(next)
+	}
+	return isState{written: next, n: s.n}, res, true
+}
+
+func (s isState) Key() string { return "is:" + strconv.FormatInt(s.written, 16) }

@@ -1,0 +1,144 @@
+// Package spec defines sequential specifications of concurrent objects in the
+// sense of Definition 4.1 of the paper: a (possibly partial) transition
+// function δ over states, mapping an invocation to a response and a successor
+// state. All objects used by the paper (queue, stack, set, priority queue,
+// counter, register, consensus) are deterministic, so δ returns a single
+// successor.
+//
+// States are immutable values: Apply never mutates its receiver, it returns a
+// fresh state. This makes states safe to share across branches of the
+// linearizability search in internal/check and safe to memoise via Key.
+package spec
+
+import "strconv"
+
+// Method names understood by the models in this package.
+const (
+	MethodEnq      = "Enq"      // queue
+	MethodDeq      = "Deq"      // queue
+	MethodPush     = "Push"     // stack
+	MethodPop      = "Pop"      // stack
+	MethodAdd      = "Add"      // set
+	MethodRemove   = "Remove"   // set
+	MethodContains = "Contains" // set
+	MethodInsert   = "Insert"   // priority queue
+	MethodMin      = "ExtractMin"
+	MethodInc      = "Inc"   // counter
+	MethodRead     = "Read"  // counter, register
+	MethodWrite    = "Write" // register
+	MethodDecide   = "Decide"
+)
+
+// Operation describes one high-level operation invocation, including its
+// argument. Uniq distinguishes invocations that would otherwise be identical;
+// the paper (§2) assumes Apply is invoked with a given input only once, which
+// callers realise by assigning distinct Uniq values.
+type Operation struct {
+	Method string
+	Arg    int64
+	Uniq   uint64
+}
+
+// String renders the operation as in the paper's figures, e.g. "Enq(1)".
+func (o Operation) String() string {
+	switch o.Method {
+	case MethodDeq, MethodPop, MethodMin, MethodRead:
+		return o.Method + "()"
+	default:
+		return o.Method + "(" + strconv.FormatInt(o.Arg, 10) + ")"
+	}
+}
+
+// Kind discriminates the payload of a Response.
+type Kind uint8
+
+// Response kinds. They start at one so that the zero Response is recognisably
+// invalid.
+const (
+	KindNone  Kind = iota + 1 // acknowledgement with no payload (e.g. Enq, Write)
+	KindValue                 // a value payload in Val
+	KindEmpty                 // the paper's "empty" response
+	KindTrue
+	KindFalse
+)
+
+// Response is the value returned by a high-level operation. It is a small
+// comparable struct so histories can be compared with ==.
+type Response struct {
+	Kind Kind
+	Val  int64
+}
+
+// Convenience constructors for the common responses.
+func ValueResp(v int64) Response { return Response{Kind: KindValue, Val: v} }
+func EmptyResp() Response        { return Response{Kind: KindEmpty} }
+func OKResp() Response           { return Response{Kind: KindNone} }
+func BoolResp(b bool) Response {
+	if b {
+		return Response{Kind: KindTrue}
+	}
+	return Response{Kind: KindFalse}
+}
+
+// String renders the response as in the paper's figures.
+func (r Response) String() string {
+	switch r.Kind {
+	case KindNone:
+		return "ok"
+	case KindValue:
+		return strconv.FormatInt(r.Val, 10)
+	case KindEmpty:
+		return "empty"
+	case KindTrue:
+		return "true"
+	case KindFalse:
+		return "false"
+	default:
+		return "invalid"
+	}
+}
+
+// State is one state of a sequential specification. Implementations must be
+// immutable: Apply returns the successor state without modifying the receiver.
+type State interface {
+	// Apply runs the transition function δ on op. It returns the successor
+	// state and the response, or ok=false if op is not legal in this state
+	// (partial δ) or not understood by this object.
+	Apply(op Operation) (next State, res Response, ok bool)
+
+	// Key returns a canonical encoding of the state. Two states represent the
+	// same abstract state if and only if their keys are equal; the
+	// linearizability checker uses keys for memoisation.
+	Key() string
+}
+
+// Model is a sequential object: a name plus an initial state.
+type Model interface {
+	Name() string
+	Init() State
+}
+
+// Oracle is a mutable convenience wrapper around a Model used to generate
+// sequential (legal) histories and as the reference implementation inside
+// lock-based baseline objects. It is not safe for concurrent use.
+type Oracle struct {
+	st State
+}
+
+// NewOracle returns an Oracle positioned at the model's initial state.
+func NewOracle(m Model) *Oracle { return &Oracle{st: m.Init()} }
+
+// Apply advances the oracle, returning the sequential response. ok is false
+// if the operation is illegal in the current state, in which case the oracle
+// does not move.
+func (o *Oracle) Apply(op Operation) (Response, bool) {
+	next, res, ok := o.st.Apply(op)
+	if !ok {
+		return Response{}, false
+	}
+	o.st = next
+	return res, true
+}
+
+// State returns the oracle's current state.
+func (o *Oracle) State() State { return o.st }

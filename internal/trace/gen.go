@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"math/rand"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// OpGen produces a stream of operations for one model, with distinct
+// arguments for value-carrying methods so histories have distinct values
+// (the common assumption of tractable monitors). It is not safe for
+// concurrent use; give each process its own or guard externally.
+type OpGen struct {
+	model   string
+	rng     *rand.Rand
+	uniq    *UniqSource
+	nextArg int64
+}
+
+// NewOpGen returns a generator for the given model name, seeded
+// deterministically.
+func NewOpGen(model string, seed int64, uniq *UniqSource) *OpGen {
+	return &OpGen{model: model, rng: rand.New(rand.NewSource(seed)), uniq: uniq, nextArg: 1}
+}
+
+// Next returns the next random operation for the model.
+func (g *OpGen) Next() spec.Operation {
+	arg := g.nextArg
+	g.nextArg++
+	var method string
+	switch g.model {
+	case "queue":
+		if g.rng.Intn(2) == 0 {
+			method = spec.MethodEnq
+		} else {
+			method, arg = spec.MethodDeq, 0
+		}
+	case "stack":
+		if g.rng.Intn(2) == 0 {
+			method = spec.MethodPush
+		} else {
+			method, arg = spec.MethodPop, 0
+		}
+	case "set":
+		switch g.rng.Intn(3) {
+		case 0:
+			method, arg = spec.MethodAdd, int64(g.rng.Intn(16))
+		case 1:
+			method, arg = spec.MethodRemove, int64(g.rng.Intn(16))
+		default:
+			method, arg = spec.MethodContains, int64(g.rng.Intn(16))
+		}
+	case "pqueue":
+		if g.rng.Intn(2) == 0 {
+			method, arg = spec.MethodInsert, int64(g.rng.Intn(64))
+		} else {
+			method, arg = spec.MethodMin, 0
+		}
+	case "counter":
+		if g.rng.Intn(3) < 2 {
+			method, arg = spec.MethodInc, 0
+		} else {
+			method, arg = spec.MethodRead, 0
+		}
+	case "register":
+		if g.rng.Intn(2) == 0 {
+			method = spec.MethodWrite
+		} else {
+			method, arg = spec.MethodRead, 0
+		}
+	case "consensus":
+		method = spec.MethodDecide
+	default:
+		method, arg = spec.MethodRead, 0
+	}
+	return spec.Operation{Method: method, Arg: arg, Uniq: g.uniq.Next()}
+}
+
+// RandomLinearizable generates a random well-formed history over procs
+// processes and about nops operations that is linearizable by construction:
+// each operation's linearization point (an application of the sequential
+// oracle) is placed at a random instant inside its interval. A fraction of
+// operations may be left pending.
+func RandomLinearizable(model spec.Model, seed int64, procs, nops int) history.History {
+	rng := rand.New(rand.NewSource(seed))
+	var uniq UniqSource
+	gen := NewOpGen(model.Name(), seed+1, &uniq)
+	oracle := spec.NewOracle(model)
+
+	type inflight struct {
+		op         spec.Operation
+		res        spec.Response
+		linearized bool
+	}
+	pending := make(map[int]*inflight, procs)
+	crashed := make(map[int]bool, procs)
+	var h history.History
+	started := 0
+	for started < nops || len(pending) > 0 {
+		// Pick an enabled move uniformly: start, linearize, or return.
+		type move struct {
+			kind int // 0 start, 1 linearize, 2 return
+			proc int
+		}
+		var moves []move
+		if started < nops {
+			for p := 0; p < procs; p++ {
+				if _, busy := pending[p]; !busy && !crashed[p] {
+					moves = append(moves, move{0, p})
+				}
+			}
+		}
+		// Iterate processes in index order: ranging over the map would make
+		// the "seeded" generator nondeterministic.
+		for p := 0; p < procs; p++ {
+			f, busy := pending[p]
+			if !busy {
+				continue
+			}
+			if !f.linearized {
+				moves = append(moves, move{1, p})
+			} else {
+				moves = append(moves, move{2, p})
+			}
+		}
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[rng.Intn(len(moves))]
+		switch mv.kind {
+		case 0:
+			op := gen.Next()
+			pending[mv.proc] = &inflight{op: op}
+			h = append(h, history.Event{Kind: history.Invoke, Proc: mv.proc, ID: op.Uniq, Op: op})
+			started++
+		case 1:
+			f := pending[mv.proc]
+			res, ok := oracle.Apply(f.op)
+			if !ok {
+				// Operation not understood by the model; drop the process's
+				// op by responding with an arbitrary marker. Should not
+				// happen with matching generator and model.
+				res = spec.Response{}
+			}
+			f.res = res
+			f.linearized = true
+			// With some probability the process crashes here: the op stays
+			// pending forever although it took effect, and the process never
+			// invokes again.
+			if rng.Intn(20) == 0 {
+				delete(pending, mv.proc)
+				crashed[mv.proc] = true
+			}
+		case 2:
+			f := pending[mv.proc]
+			delete(pending, mv.proc)
+			h = append(h, history.Event{Kind: history.Return, Proc: mv.proc, ID: f.op.Uniq, Op: f.op, Res: f.res})
+		}
+	}
+	return h
+}
+
+// Mutate returns a copy of h with one random response value or kind
+// perturbed. The result may or may not remain linearizable; callers must
+// check, not assume.
+func Mutate(h history.History, seed int64) history.History {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(history.History, len(h))
+	copy(out, h)
+	var rets []int
+	for i, e := range out {
+		if e.Kind == history.Return {
+			rets = append(rets, i)
+		}
+	}
+	if len(rets) == 0 {
+		return out
+	}
+	i := rets[rng.Intn(len(rets))]
+	e := out[i]
+	switch rng.Intn(3) {
+	case 0:
+		e.Res = spec.ValueResp(e.Res.Val + 1 + int64(rng.Intn(5)))
+	case 1:
+		e.Res = spec.EmptyResp()
+	default:
+		e.Res = spec.ValueResp(int64(rng.Intn(100) + 1000))
+	}
+	out[i] = e
+	return out
+}

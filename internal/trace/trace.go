@@ -1,0 +1,101 @@
+// Package trace provides the testing oracle the paper's model denies to the
+// processes: the real-time order of invocations and responses. Inside a
+// single address space we can observe that order with a lock, which is
+// exactly the information Theorem 5.1 proves is unavailable to the
+// asynchronous processes themselves. The algorithms under test never use this
+// package; tests, experiments and benchmarks use it to obtain ground truth.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Implementation is the minimal surface of a concurrent object under
+// inspection (the paper's black box A): one Apply high-level operation.
+type Implementation interface {
+	Apply(proc int, op spec.Operation) spec.Response
+	Name() string
+}
+
+// Recorder accumulates a real-time history of invocations and responses. The
+// order of events is the order in which the recorder's lock was acquired;
+// every recorded invocation happens after the operation logically started and
+// every recorded response happens after it logically finished, so the
+// recorded intervals are contained in the true ones. Linearizability with
+// respect to the recorded history therefore implies linearizability of the
+// true execution, and a correct implementation always yields a linearizable
+// recorded history (its linearization points fall inside the recorded
+// intervals).
+type Recorder struct {
+	mu     sync.Mutex
+	events history.History
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Invoke records the invocation of op by proc. op.Uniq is used as the
+// operation ID and must be unique within the recorder's lifetime.
+func (r *Recorder) Invoke(proc int, op spec.Operation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, history.Event{Kind: history.Invoke, Proc: proc, ID: op.Uniq, Op: op})
+}
+
+// Return records the response of proc's pending operation op.
+func (r *Recorder) Return(proc int, op spec.Operation, res spec.Response) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.events = append(r.events, history.Event{Kind: history.Return, Proc: proc, ID: op.Uniq, Op: op, Res: res})
+}
+
+// History returns a snapshot of the recorded history.
+func (r *Recorder) History() history.History {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(history.History, len(r.events))
+	copy(out, r.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// Instrumented wraps an implementation so every Apply is recorded.
+type Instrumented struct {
+	Inner Implementation
+	Rec   *Recorder
+}
+
+// Instrument returns impl wrapped with recording through rec.
+func Instrument(impl Implementation, rec *Recorder) *Instrumented {
+	return &Instrumented{Inner: impl, Rec: rec}
+}
+
+// Apply records the invocation, calls the inner implementation, and records
+// the response.
+func (in *Instrumented) Apply(proc int, op spec.Operation) spec.Response {
+	in.Rec.Invoke(proc, op)
+	res := in.Inner.Apply(proc, op)
+	in.Rec.Return(proc, op, res)
+	return res
+}
+
+// Name identifies the wrapped implementation.
+func (in *Instrumented) Name() string { return in.Inner.Name() + "+trace" }
+
+// UniqSource hands out process-safe unique operation identifiers.
+type UniqSource struct {
+	next atomic.Uint64
+}
+
+// Next returns the next unique identifier, starting at 1.
+func (u *UniqSource) Next() uint64 { return u.next.Add(1) }

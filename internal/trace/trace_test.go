@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+func TestRecorderBasic(t *testing.T) {
+	rec := NewRecorder()
+	op := spec.Operation{Method: spec.MethodEnq, Arg: 1, Uniq: 1}
+	rec.Invoke(0, op)
+	rec.Return(0, op, spec.OKResp())
+	h := rec.History()
+	if len(h) != 2 || rec.Len() != 2 {
+		t.Fatalf("history = %v", h)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The returned history is a snapshot.
+	rec.Invoke(1, spec.Operation{Method: spec.MethodDeq, Uniq: 2})
+	if len(h) != 2 {
+		t.Fatal("History() aliased internal state")
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var uniq UniqSource
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				op := spec.Operation{Method: spec.MethodInc, Uniq: uniq.Next()}
+				rec.Invoke(p, op)
+				rec.Return(p, op, spec.OKResp())
+			}
+		}(p)
+	}
+	wg.Wait()
+	h := rec.History()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("concurrent recording produced invalid history: %v", err)
+	}
+	if len(h) != 400 {
+		t.Fatalf("events = %d", len(h))
+	}
+}
+
+type fakeImpl struct{ calls int }
+
+func (f *fakeImpl) Name() string { return "fake" }
+func (f *fakeImpl) Apply(_ int, op spec.Operation) spec.Response {
+	f.calls++
+	return spec.ValueResp(7)
+}
+
+func TestInstrument(t *testing.T) {
+	f := &fakeImpl{}
+	rec := NewRecorder()
+	in := Instrument(f, rec)
+	if in.Name() != "fake+trace" {
+		t.Fatalf("Name = %q", in.Name())
+	}
+	res := in.Apply(2, spec.Operation{Method: spec.MethodRead, Uniq: 9})
+	if res != spec.ValueResp(7) || f.calls != 1 {
+		t.Fatalf("res = %v calls = %d", res, f.calls)
+	}
+	h := rec.History()
+	if len(h) != 2 || h[0].Kind != history.Invoke || h[1].Res != spec.ValueResp(7) {
+		t.Fatalf("recorded = %v", h)
+	}
+}
+
+func TestUniqSource(t *testing.T) {
+	var u UniqSource
+	seen := make(map[uint64]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				v := u.Next()
+				mu.Lock()
+				if seen[v] {
+					t.Errorf("duplicate id %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOpGenDistinctArgs(t *testing.T) {
+	var u UniqSource
+	g := NewOpGen("queue", 1, &u)
+	seen := make(map[int64]bool)
+	for i := 0; i < 200; i++ {
+		op := g.Next()
+		if op.Method == spec.MethodEnq {
+			if seen[op.Arg] {
+				t.Fatalf("duplicate enqueue value %d", op.Arg)
+			}
+			seen[op.Arg] = true
+		}
+		if op.Uniq == 0 {
+			t.Fatal("zero uniq")
+		}
+	}
+}
+
+func TestOpGenCoversMethods(t *testing.T) {
+	var u UniqSource
+	for _, model := range []string{"queue", "stack", "set", "pqueue", "counter", "register", "consensus"} {
+		g := NewOpGen(model, 3, &u)
+		methods := make(map[string]bool)
+		for i := 0; i < 200; i++ {
+			methods[g.Next().Method] = true
+		}
+		if len(methods) < 2 && model != "consensus" {
+			t.Fatalf("%s: generator too narrow: %v", model, methods)
+		}
+	}
+}
+
+func TestRandomLinearizableWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		h := RandomLinearizable(spec.Stack(), seed, 4, 20)
+		if err := h.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMutateChangesOneResponse(t *testing.T) {
+	h := RandomLinearizable(spec.Counter(), 1, 2, 10)
+	m := Mutate(h, 2)
+	if len(m) != len(h) {
+		t.Fatalf("length changed: %d vs %d", len(m), len(h))
+	}
+	diff := 0
+	for i := range h {
+		if h[i] != m[i] {
+			diff++
+			if m[i].Kind != history.Return {
+				t.Fatal("mutation touched a non-response event")
+			}
+		}
+	}
+	if diff > 1 {
+		t.Fatalf("mutated %d events, want at most 1", diff)
+	}
+	// Mutating an empty history is a no-op.
+	if got := Mutate(nil, 3); len(got) != 0 {
+		t.Fatalf("Mutate(nil) = %v", got)
+	}
+}
