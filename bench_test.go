@@ -1,7 +1,8 @@
-// Benchmarks B1–B7 of DESIGN.md §3: one benchmark family per complexity or
-// overhead claim the paper makes in prose. Absolute numbers depend on the
-// host; the shapes (linear/quadratic growth in n, constant producer cost,
-// fast-monitor speedups) are what EXPERIMENTS.md records.
+// Benchmarks B1–B8 of DESIGN.md §3: one benchmark family per complexity or
+// overhead claim the paper makes in prose, plus B8 for the incremental
+// verification pipeline. Absolute numbers depend on the host; the shapes
+// (linear/quadratic growth in n, constant producer cost, fast-monitor and
+// incremental-pipeline speedups) are what EXPERIMENTS.md records.
 package repro
 
 import (
@@ -313,6 +314,72 @@ func BenchmarkXOfTau(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B8: decoupled verification — paper-literal full re-check vs the
+// incremental sharded pipeline, monitoring a stream of published operations
+// ---------------------------------------------------------------------------
+
+// benchTuples pre-generates the published sketch of an `ops`-operation run
+// over `procs` producers, applied round-robin through A*.
+func benchTuples(m spec.Model, procs, ops int) []core.Tuple {
+	drv := core.NewDRV(impls.ForModel(m), procs)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen(m.Name(), 17, &uniq)
+	tuples := make([]core.Tuple, 0, ops)
+	for i := 0; i < ops; i++ {
+		p := i % procs
+		op := gen.Next()
+		y, view := drv.Apply(p, op)
+		tuples = append(tuples, core.Tuple{Proc: p, Op: op, Res: y, View: view})
+	}
+	return tuples
+}
+
+// BenchmarkDecoupledVerify measures the total verification work to monitor a
+// stream of `ops` published operations, one verification pass per
+// publication (steady-state online monitoring):
+//
+//   - full: the seed's Figure 12 loop body — flatten, BuildHistory, decide
+//     membership of the whole prefix, every time;
+//   - incremental: the IncVerifier pipeline — delta assembly plus a segment
+//     check from the committed frontier.
+//
+// One benchmark iteration processes the whole stream, so ns/op is the cost
+// of the full window; EXPERIMENTS.md records the ratio.
+func BenchmarkDecoupledVerify(b *testing.B) {
+	const procs = 4
+	for _, m := range []spec.Model{spec.Counter(), spec.Queue()} {
+		for _, ops := range []int{256, 1024, 2048} {
+			tuples := benchTuples(m, procs, ops)
+			obj := genlin.Linearizability(m)
+			b.Run(fmt.Sprintf("full/%s/ops=%d", m.Name(), ops), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for k := 1; k <= ops; k++ {
+						x, err := core.BuildHistory(tuples[:k], procs)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !obj.Contains(x) {
+							b.Fatal("correct stream refuted")
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("incremental/%s/ops=%d", m.Name(), ops), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					iv := core.NewIncVerifier(procs, obj)
+					for k := 0; k < ops; k++ {
+						iv.IngestTuples(tuples[k : k+1])
+						if iv.Verdict() != check.Yes {
+							b.Fatal("correct stream refuted")
+						}
+					}
+				}
+			})
+		}
 	}
 }
 

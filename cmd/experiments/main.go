@@ -1,5 +1,5 @@
 // Command experiments regenerates every figure/theorem experiment of the
-// paper (DESIGN.md §3, E1–E13) and prints paper-claim vs measured-outcome
+// paper (DESIGN.md §3, E1–E15) and prints paper-claim vs measured-outcome
 // rows. With -run it executes a single experiment.
 //
 // Usage:

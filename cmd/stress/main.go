@@ -1,12 +1,14 @@
-// Command stress soaks a self-enforced implementation (Figure 11) under
-// concurrent load, optionally with injected faults, and reports throughput
-// and detection statistics. It is the fault-injection harness behind the
-// EXPERIMENTS.md robustness numbers.
+// Command stress soaks a self-enforced implementation (Figure 11) or the
+// decoupled variant (Figure 12) under concurrent load, optionally with
+// injected faults, and reports throughput and detection statistics. It is
+// the fault-injection harness behind the EXPERIMENTS.md robustness numbers.
 //
 // Usage:
 //
 //	stress -model queue -procs 4 -ops 200 -seeds 10
 //	stress -model counter -fault stale -rate 16 -procs 4
+//	stress -model counter -decoupled -verifiers 3 -ops 2000
+//	stress -model counter -decoupled -fullrecheck -ops 2000   # paper-literal loop
 package main
 
 import (
@@ -35,6 +37,9 @@ func run() int {
 	procs := flag.Int("procs", 4, "concurrent processes")
 	ops := flag.Int("ops", 100, "operations per process per run")
 	seeds := flag.Int("seeds", 5, "independent runs")
+	decoupled := flag.Bool("decoupled", false, "soak the decoupled variant (Figure 12) instead of the self-enforced one")
+	verifiers := flag.Int("verifiers", 3, "decoupled verifier goroutines (1 dispatcher + scanners)")
+	fullrecheck := flag.Bool("fullrecheck", false, "decoupled: use the paper-literal whole-history re-check loop")
 	flag.Parse()
 
 	m, ok := spec.ByName(*model)
@@ -59,6 +64,9 @@ func run() int {
 	}
 
 	obj := genlin.Linearizability(m)
+	if *decoupled {
+		return runDecoupled(m, obj, mode, *fault, *rate, *procs, *ops, *seeds, *verifiers, *fullrecheck)
+	}
 	var totalOps, totalErrs atomic.Int64
 	detectedRuns := 0
 	start := time.Now()
@@ -100,6 +108,77 @@ func run() int {
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("runs with ERROR: %d/%d\n", detectedRuns, *seeds)
 	if mode == 0 && totalErrs.Load() > 0 {
+		fmt.Fprintln(os.Stderr, "FALSE ERRORS on a correct implementation")
+		return 1
+	}
+	if mode != 0 && detectedRuns == 0 {
+		fmt.Fprintln(os.Stderr, "no run detected the injected faults (raise -ops or lower -rate)")
+		return 1
+	}
+	return 0
+}
+
+// runDecoupled soaks D_{O,A} (Figure 12): producers never wait for
+// verification, the verifier pipeline reports asynchronously, and Close
+// performs a final drain, so by the end of each run every published tuple
+// has been verified.
+func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, fault string, rate uint64, procs, ops, seeds, verifiers int, fullrecheck bool) int {
+	var totalOps atomic.Int64
+	detectedRuns := 0
+	var agg core.DecoupledStats
+	start := time.Now()
+	for seed := 0; seed < seeds; seed++ {
+		inner := impls.ForModel(m)
+		if mode != 0 {
+			inner = impls.NewFaulty(inner, mode, rate, uint64(seed))
+		}
+		var reports atomic.Int64
+		var opts []core.DecoupledOption
+		if fullrecheck {
+			opts = append(opts, core.WithFullRecheck())
+		}
+		d := core.NewDecoupled(inner, procs, verifiers, obj,
+			func(core.Report) { reports.Add(1) }, opts...)
+		var uniq trace.UniqSource
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				gen := trace.NewOpGen(m.Name(), int64(seed)*101+int64(p), &uniq)
+				for i := 0; i < ops; i++ {
+					d.Apply(p, gen.Next())
+					totalOps.Add(1)
+				}
+			}(p)
+		}
+		wg.Wait()
+		d.Close()
+		st := d.Stats()
+		agg.Scans += st.Scans
+		agg.Reports += st.Reports
+		agg.Verify.Passes += st.Verify.Passes
+		agg.Verify.Tuples += st.Verify.Tuples
+		agg.Verify.Groups += st.Verify.Groups
+		agg.Verify.Rebuilds += st.Verify.Rebuilds
+		agg.Verify.Check.SegChecks += st.Verify.Check.SegChecks
+		agg.Verify.Check.Fallbacks += st.Verify.Check.Fallbacks
+		agg.Verify.Check.Compactions += st.Verify.Check.Compactions
+		if reports.Load() > 0 {
+			detectedRuns++
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v\n",
+		m.Name(), fault, rate, procs, ops, seeds, verifiers, fullrecheck)
+	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
+		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
+	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
+		agg.Scans, agg.Verify.Passes, agg.Verify.Tuples, agg.Verify.Groups, agg.Verify.Rebuilds,
+		agg.Verify.Check.SegChecks, agg.Verify.Check.Fallbacks, agg.Verify.Check.Compactions, agg.Reports)
+	fmt.Printf("runs with ERROR report: %d/%d\n", detectedRuns, seeds)
+	if mode == 0 && detectedRuns > 0 {
 		fmt.Fprintln(os.Stderr, "FALSE ERRORS on a correct implementation")
 		return 1
 	}

@@ -1,0 +1,245 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Incremental is a stateful linearizability monitor over a growing history.
+// Where Monitor re-decides the whole history on every call, Incremental keeps
+// the work done for the prefix and charges each Append only for the suffix
+// since the last committed frontier, so steady-state monitoring cost tracks
+// the delta instead of the whole published prefix (cf. the decrease-and-
+// conquer monitors of arXiv:2410.04581 and arXiv:2509.17795).
+//
+// The pipeline behind Append is staged:
+//
+//  1. sticky No — linearizability is prefix-closed (Lemma 7.1), so once a
+//     prefix is refuted every extension is refuted without further work;
+//  2. delta gating — an empty delta returns the cached verdict;
+//  3. segment check — the complete checker runs only on the events after the
+//     committed frontier, starting the sequential object at the frontier
+//     state; a Yes here is sound because the committed witness concatenated
+//     with the segment witness is a legal sequential witness of the whole
+//     history that respects real time (every committed operation returned
+//     before every event of the segment);
+//  4. staged fallback — if the segment check fails, the cheap sound
+//     necessary-condition monitor (NoDetector) and then the complete checker
+//     run on the full retained history, so the final verdict is exactly that
+//     of IsLinearizable on the whole history.
+//
+// The frontier only advances at quiescent cuts: points where no operation is
+// pending and the history so far is linearizable. Cutting anywhere else would
+// be unsound (a pending operation may have to linearize before already-seen
+// operations), and cutting on a non-deterministically-reached state would
+// make the segment check refute linearizable histories; the fallback keeps
+// the verdict complete regardless.
+//
+// Incremental is not safe for concurrent use.
+type Incremental struct {
+	model spec.Model
+	noDet Monitor // sound necessary-condition monitor; nil if the model has none
+
+	h        history.History
+	cutIdx   int        // events before cutIdx are committed
+	cutState spec.State // sequential state after the committed prefix
+
+	pendingOp map[int]uint64 // proc -> id of its open invocation
+	seenIDs   map[uint64]struct{}
+
+	verdict Verdict
+	err     error // non-nil once a delta made the history ill-formed
+	stats   IncStats
+}
+
+// IncStats counts what the incremental pipeline actually did; EXPERIMENTS.md
+// records them and cmd/stress prints them.
+type IncStats struct {
+	Appends     int // Append calls
+	Events      int // events ingested
+	CachedNoOps int // empty deltas answered from the cached verdict
+	StickyNo    int // appends answered by prefix-closure alone
+	SegChecks   int // segment checks run
+	SegYes      int // segment checks that answered Yes
+	MaxSegment  int // largest segment (in events) ever checked
+	Fallbacks   int // full-history fallback checks
+	Compactions int // quiescent cuts committed
+}
+
+// NewIncremental returns an incremental monitor for the model, positioned at
+// the empty history (which is trivially a member).
+func NewIncremental(m spec.Model) *Incremental {
+	return &Incremental{
+		model:     m,
+		noDet:     NoDetector(m),
+		cutState:  m.Init(),
+		pendingOp: make(map[int]uint64),
+		seenIDs:   make(map[uint64]struct{}),
+		verdict:   Yes,
+	}
+}
+
+// fromState is a model with its initial state replaced: the sequential object
+// resumed at a committed frontier.
+type fromState struct {
+	name string
+	init spec.State
+}
+
+func (f fromState) Name() string     { return f.name }
+func (f fromState) Init() spec.State { return f.init }
+
+// Append extends the monitored history with delta and returns the verdict for
+// the extended history. The result equals IsLinearizable on the whole history
+// at every call. delta must extend the history seen so far to a well-formed
+// history (§2); if it does not, the verdict is No — no GenLin object contains
+// an ill-formed history — and Err explains why.
+func (inc *Incremental) Append(delta history.History) Verdict {
+	inc.stats.Appends++
+	if inc.verdict == No {
+		// Prefix-closure: keep the events (History stays the full witness)
+		// but skip all checking.
+		inc.h = append(inc.h, delta...)
+		inc.stats.Events += len(delta)
+		inc.stats.StickyNo++
+		return No
+	}
+	if len(delta) == 0 {
+		inc.stats.CachedNoOps++
+		return inc.verdict
+	}
+	for i, e := range delta {
+		if err := inc.admit(e); err != nil {
+			inc.h = append(inc.h, delta[i:]...)
+			inc.stats.Events += len(delta) - i
+			inc.err = err
+			inc.verdict = No
+			return No
+		}
+		inc.h = append(inc.h, e)
+		inc.stats.Events++
+	}
+
+	seg := inc.h[inc.cutIdx:]
+	inc.stats.SegChecks++
+	if len(seg) > inc.stats.MaxSegment {
+		inc.stats.MaxSegment = len(seg)
+	}
+	r := Linearizable(fromState{name: inc.model.Name(), init: inc.cutState}, seg)
+	if r.Ok {
+		inc.stats.SegYes++
+		inc.verdict = Yes
+		if len(inc.pendingOp) == 0 {
+			inc.compact(r.Linearization)
+		}
+		return Yes
+	}
+	return inc.fallback()
+}
+
+// admit validates one event against the well-formedness conditions of §2,
+// updating the pending/seen trackers.
+func (inc *Incremental) admit(e history.Event) error {
+	switch e.Kind {
+	case history.Invoke:
+		if open, busy := inc.pendingOp[e.Proc]; busy {
+			return fmt.Errorf("process %d invokes op %d while op %d is pending", e.Proc, e.ID, open)
+		}
+		if _, dup := inc.seenIDs[e.ID]; dup {
+			return fmt.Errorf("duplicate operation id %d", e.ID)
+		}
+		inc.seenIDs[e.ID] = struct{}{}
+		inc.pendingOp[e.Proc] = e.ID
+	case history.Return:
+		open, busy := inc.pendingOp[e.Proc]
+		if !busy || open != e.ID {
+			return fmt.Errorf("process %d responds to op %d with no matching invocation", e.Proc, e.ID)
+		}
+		delete(inc.pendingOp, e.Proc)
+	default:
+		return fmt.Errorf("invalid event kind %d", e.Kind)
+	}
+	return nil
+}
+
+// fallback decides the full retained history: the cheap sound No conditions
+// first, then the complete checker. It restores completeness after a failed
+// segment check (the frontier state may have been the wrong witness choice).
+func (inc *Incremental) fallback() Verdict {
+	inc.stats.Fallbacks++
+	if inc.noDet != nil && inc.noDet.Check(inc.h) == No {
+		inc.verdict = No
+		return No
+	}
+	r := Linearizable(inc.model, inc.h)
+	if !r.Ok {
+		inc.verdict = No
+		return No
+	}
+	// The committed decomposition was refutable but the history is a member:
+	// discard the frontier and recommit at the next quiescent cut.
+	inc.verdict = Yes
+	inc.cutIdx, inc.cutState = 0, inc.model.Init()
+	if len(inc.pendingOp) == 0 {
+		inc.compact(r.Linearization)
+	}
+	return Yes
+}
+
+// compact advances the committed frontier to the end of the current history,
+// folding the witness into the frontier state. Callers guarantee quiescence
+// (no pending operations), so the witness covers every operation and every
+// committed operation precedes every future event in real time.
+func (inc *Incremental) compact(lin []LinOp) {
+	st := inc.cutState
+	for _, l := range lin {
+		next, _, ok := st.Apply(l.Op)
+		if !ok {
+			return // impossible for a valid witness; refuse to compact
+		}
+		st = next
+	}
+	inc.cutIdx = len(inc.h)
+	inc.cutState = st
+	inc.stats.Compactions++
+}
+
+// Reset discards all state and reloads the monitor with h, returning its
+// verdict. The decoupled pipeline uses it when late-published tuples force a
+// full reconstruction of X(τ).
+func (inc *Incremental) Reset(h history.History) Verdict {
+	inc.h = append(inc.h[:0:0], h...)
+	inc.cutIdx, inc.cutState = 0, inc.model.Init()
+	inc.pendingOp = make(map[int]uint64)
+	inc.seenIDs = make(map[uint64]struct{})
+	inc.verdict = Yes
+	inc.err = nil
+	inc.stats.Appends++
+	inc.stats.Events += len(h)
+	for _, e := range h {
+		if err := inc.admit(e); err != nil {
+			inc.err = err
+			inc.verdict = No
+			return No
+		}
+	}
+	if len(h) == 0 {
+		return Yes
+	}
+	return inc.fallback()
+}
+
+// Verdict returns the cached verdict for the history seen so far.
+func (inc *Incremental) Verdict() Verdict { return inc.verdict }
+
+// History returns the full retained history — the violation witness once the
+// verdict is No. Callers must not modify it.
+func (inc *Incremental) History() history.History { return inc.h }
+
+// Err reports why the history became ill-formed, if it did.
+func (inc *Incremental) Err() error { return inc.err }
+
+// Stats returns the pipeline counters so far.
+func (inc *Incremental) Stats() IncStats { return inc.stats }

@@ -74,22 +74,33 @@ func (hy hybrid) Check(h history.History) Verdict {
 	return hy.full.Check(h)
 }
 
+// NoDetector returns the sound necessary-condition monitor for the model, or
+// nil if none is implemented. Its No answers are sound and cheap; it never
+// answers Yes. Both the staged ForModel composition and the incremental
+// pipeline use it as the pre-filter before the complete search.
+func NoDetector(m spec.Model) Monitor {
+	switch m.Name() {
+	case "counter":
+		return CounterNoDetector()
+	case "register":
+		return RegisterNoDetector(m.Init())
+	case "queue":
+		return QueueNoDetector()
+	case "stack":
+		return StackNoDetector()
+	default:
+		return nil
+	}
+}
+
 // ForModel returns the best monitor available for the model. The B7
 // benchmarks drive the composition: on member histories the complete search
 // with memoisation is the fastest decider at realistic sizes, so the fast
 // monitors contribute only their sound No conditions, which refute
 // violations without exhausting the search.
 func ForModel(m spec.Model) Monitor {
-	switch m.Name() {
-	case "counter":
-		return Hybrid(CounterNoDetector(), WG(m))
-	case "register":
-		return Hybrid(RegisterNoDetector(m.Init()), WG(m))
-	case "queue":
-		return Hybrid(QueueNoDetector(), WG(m))
-	case "stack":
-		return Hybrid(StackNoDetector(), WG(m))
-	default:
-		return WG(m)
+	if det := NoDetector(m); det != nil {
+		return Hybrid(det, WG(m))
 	}
+	return WG(m)
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/conslist"
 	"repro/internal/genlin"
@@ -16,6 +18,24 @@ import (
 // verification, so responses may be returned before an error is detected —
 // the trade-off §9.2 describes — but every violation is eventually reported
 // as long as one verifier survives.
+//
+// The verifiers form an incremental sharded pipeline rather than the paper's
+// literal re-check-everything loop:
+//
+//   - scanner goroutines each own a partition of the producer processes;
+//     they watch the result snapshot and extract each owned process's newly
+//     published tuples (a delta read off the persistent cons-lists, not a
+//     re-flatten of the whole sketch), run a cheap per-tuple necessary
+//     condition (Remark 7.2 self-inclusion), and forward batches;
+//   - one dispatcher goroutine merges the batches into the incremental
+//     X(τ) assembly (IncVerifier), drives the staged monitor pipeline
+//     (check.Incremental), merges scanner verdicts with the monitor verdict,
+//     and deduplicates reports: one report per violation, not one per loop
+//     iteration.
+//
+// With a single verifier goroutine the dispatcher scans and checks by
+// itself. WithFullRecheck restores the paper-literal quadratic loop, kept
+// for A/B benchmarks (bench_test.go) and as a correctness oracle.
 type Decoupled struct {
 	n   int
 	drv *DRV
@@ -26,26 +46,97 @@ type Decoupled struct {
 	onReport func(Report)
 	stop     chan struct{}
 	wg       sync.WaitGroup
+	scanWg   sync.WaitGroup
+	batches  chan tupleBatch
+	full     bool
+
+	scans   atomic.Int64
+	statsMu sync.Mutex
+	stats   DecoupledStats
+}
+
+// DecoupledStats aggregates the verification pipeline's counters.
+type DecoupledStats struct {
+	Scans   int64 // snapshot scans across all verifier goroutines
+	Reports int   // deduplicated reports issued
+	Verify  IncVerifyStats
+}
+
+// tupleBatch is one process's newly published tuples, forwarded by a scanner
+// to the dispatcher. corrupt carries a scanner-side necessary-condition
+// verdict (empty = passed).
+type tupleBatch struct {
+	proc    int
+	tuples  []Tuple
+	corrupt string
+}
+
+// DecoupledOption configures the decoupled implementation.
+type DecoupledOption func(*decoupledCfg)
+
+type decoupledCfg struct {
+	drvOpts []Option
+	full    bool
+}
+
+// WithDecoupledDRV forwards options to the underlying A* construction.
+func WithDecoupledDRV(opts ...Option) DecoupledOption {
+	return func(c *decoupledCfg) { c.drvOpts = append(c.drvOpts, opts...) }
+}
+
+// WithFullRecheck replaces the incremental pipeline with the paper-literal
+// verifier loop that re-decides the whole published history every iteration.
+func WithFullRecheck() DecoupledOption {
+	return func(c *decoupledCfg) { c.full = true }
 }
 
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
-// onReport is called from verifier goroutines for every iteration that finds
-// a violation (the paper's verifiers report in every loop iteration; callers
-// deduplicate as needed). Close must be called to stop the verifiers.
-func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onReport func(Report), opts ...Option) *Decoupled {
+// onReport is called from the verification pipeline when a violation is
+// found; reports are deduplicated (one per violation — violations are sticky
+// by prefix-closure), except under WithFullRecheck, which reports in every
+// iteration as the paper's Figure 12 does. Close must be called to stop the
+// verifiers.
+func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onReport func(Report), opts ...DecoupledOption) *Decoupled {
+	var cfg decoupledCfg
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	d := &Decoupled{
 		n:        n,
-		drv:      NewDRV(inner, n, opts...),
+		drv:      NewDRV(inner, n, cfg.drvOpts...),
 		obj:      obj,
 		m:        snapshot.NewAfek[*conslist.Node[Tuple]](n),
 		res:      make([]*conslist.Node[Tuple], n),
 		onReport: onReport,
 		stop:     make(chan struct{}),
+		full:     cfg.full,
 	}
-	for j := 0; j < verifiers; j++ {
+	if verifiers <= 0 {
+		return d
+	}
+	if d.full {
+		for j := 0; j < verifiers; j++ {
+			d.wg.Add(1)
+			go d.fullVerifyLoop(j)
+		}
+		return d
+	}
+	scanners := verifiers - 1
+	if scanners > n {
+		scanners = n
+	}
+	d.batches = make(chan tupleBatch, 4*(scanners+1))
+	for j := 0; j < scanners; j++ {
+		var owned []int
+		for p := j; p < n; p += scanners {
+			owned = append(owned, p)
+		}
 		d.wg.Add(1)
-		go d.verifyLoop(j)
+		d.scanWg.Add(1)
+		go d.scanLoop(owned)
 	}
+	d.wg.Add(1)
+	go d.dispatch(scanners)
 	return d
 }
 
@@ -64,8 +155,137 @@ func (d *Decoupled) Apply(proc int, op spec.Operation) spec.Response {
 	return y
 }
 
-// verifyLoop is operation Verify() of Figure 12 (Lines 06–12).
-func (d *Decoupled) verifyLoop(j int) {
+// scanLoop is a sharded scanner: it watches the owned processes' entries of
+// the result snapshot, extracts newly published tuples, applies the cheap
+// Remark 7.2 self-inclusion necessary condition, and forwards batches to the
+// dispatcher.
+func (d *Decoupled) scanLoop(owned []int) {
+	defer d.wg.Done()
+	defer d.scanWg.Done()
+	sent := make([]int, d.n)
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		heads := d.m.Scan(0)
+		d.scans.Add(1)
+		idle := true
+		for _, p := range owned {
+			h := heads[p]
+			if h.Depth() <= sent[p] {
+				continue
+			}
+			tuples := h.AscendingSince(sent[p])
+			corrupt := ""
+			for k, t := range tuples {
+				// The i-th tuple of process p stems from p's (i+1)-th
+				// announcement, which its own view snapshot must contain.
+				if c := t.View.Counts(); len(c) != d.n || c[p] < sent[p]+k+1 {
+					corrupt = fmt.Sprintf("tuple %d of process %d lacks self-inclusion", sent[p]+k, p+1)
+					break
+				}
+			}
+			select {
+			case d.batches <- tupleBatch{proc: p, tuples: tuples, corrupt: corrupt}:
+				sent[p] += len(tuples)
+				idle = false
+			case <-d.stop:
+				return
+			}
+		}
+		if idle {
+			runtime.Gosched()
+		}
+	}
+}
+
+// dispatch merges scanner batches into the incremental pipeline, decides,
+// and reports. With no scanners it polls the snapshot itself.
+func (d *Decoupled) dispatch(scanners int) {
+	defer d.wg.Done()
+	iv := NewIncVerifier(d.n, d.obj)
+	reported := false
+
+	absorb := func(first tupleBatch, ok bool) {
+		// Coalesce everything already queued into one ingest pass so the
+		// monitor runs once per burst, not once per process.
+		var delta []Tuple
+		for {
+			if ok {
+				if first.corrupt != "" {
+					iv.MarkCorrupt(first.corrupt)
+				}
+				delta = append(delta, first.tuples...)
+			}
+			select {
+			case first, ok = <-d.batches:
+				continue
+			default:
+			}
+			break
+		}
+		iv.IngestTuples(delta)
+	}
+
+	settle := func() {
+		if iv.violated() && !reported {
+			reported = true
+			d.statsMu.Lock()
+			d.stats.Reports++
+			d.statsMu.Unlock()
+			if d.onReport != nil {
+				d.onReport(Report{Proc: -1, Witness: iv.Witness()})
+			}
+		}
+		d.statsMu.Lock()
+		d.stats.Verify = iv.Stats()
+		d.statsMu.Unlock()
+	}
+
+	finish := func() {
+		if scanners > 0 {
+			d.scanWg.Wait()
+			absorb(tupleBatch{}, false)
+		}
+		// Final drain: everything published before Close gets verified.
+		iv.IngestHeads(d.m.Scan(0))
+		d.scans.Add(1)
+		settle()
+	}
+
+	for {
+		if scanners == 0 {
+			select {
+			case <-d.stop:
+				finish()
+				return
+			default:
+			}
+			changed := iv.IngestHeads(d.m.Scan(0))
+			d.scans.Add(1)
+			settle()
+			if !changed {
+				runtime.Gosched()
+			}
+			continue
+		}
+		select {
+		case <-d.stop:
+			finish()
+			return
+		case b := <-d.batches:
+			absorb(b, true)
+			settle()
+		}
+	}
+}
+
+// fullVerifyLoop is operation Verify() of Figure 12 (Lines 06–12), verbatim:
+// flatten the whole sketch, rebuild X(τ) and re-decide membership on every
+// iteration, reporting every time a violation is seen.
+func (d *Decoupled) fullVerifyLoop(j int) {
 	defer d.wg.Done()
 	for {
 		select {
@@ -74,19 +294,37 @@ func (d *Decoupled) verifyLoop(j int) {
 		default:
 		}
 		heads := d.m.Scan(0)
+		d.scans.Add(1)
 		var tuples []Tuple
 		for _, h := range heads {
 			tuples = append(tuples, h.Ascending()...)
 		}
 		x, err := BuildHistory(tuples, d.n)
 		if err != nil || !d.obj.Contains(x) {
-			d.onReport(Report{Proc: -1 - j, Witness: x})
+			d.statsMu.Lock()
+			d.stats.Reports++
+			d.statsMu.Unlock()
+			if d.onReport != nil {
+				d.onReport(Report{Proc: -1 - j, Witness: x})
+			}
 		}
 		runtime.Gosched()
 	}
 }
 
-// Close stops the verifier goroutines and waits for them to exit.
+// Stats returns a snapshot of the verification pipeline's counters.
+func (d *Decoupled) Stats() DecoupledStats {
+	d.statsMu.Lock()
+	st := d.stats
+	d.statsMu.Unlock()
+	st.Scans = d.scans.Load()
+	return st
+}
+
+// Close stops the verifier goroutines and waits for them to exit. The
+// incremental pipeline performs a final drain first, so every tuple
+// published before the call is verified (and reported, if violating) before
+// Close returns.
 func (d *Decoupled) Close() {
 	close(d.stop)
 	d.wg.Wait()

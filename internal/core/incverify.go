@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/check"
+	"repro/internal/conslist"
+	"repro/internal/genlin"
+	"repro/internal/history"
+)
+
+// IncVerifier is the incremental verification pipeline behind the decoupled
+// variant (Figure 12): instead of re-flattening every published result list,
+// re-running BuildHistory and re-deciding membership of the whole prefix on
+// every loop iteration, it keeps the X(τ) assembly and the monitor state
+// across sketch snapshots and charges each pass only for the newly published
+// tuples.
+//
+// The assembly exploits the structure of §7.3.3: distinct views are totally
+// ordered by containment, so as long as new tuples carry views at least as
+// large as the current last view group, X grows by appending — the new
+// group's missing invocations, then the new responses. A tuple published
+// late (a slow producer whose view predates groups already emitted) breaks
+// the append order; the pipeline then falls back to a full BuildHistory over
+// every tuple seen and reloads the monitor, preserving exact equivalence
+// with the non-incremental path.
+//
+// Verdicts come from check.Incremental when the object is linearizability of
+// a sequential model (the common case), and from the object's own membership
+// test on the reassembled history otherwise (one-shot tasks). Violations are
+// sticky: GenLin objects are prefix-closed, so once the published history
+// falls outside the object every extension does too.
+//
+// IncVerifier is not safe for concurrent use; the decoupled dispatcher owns
+// one instance.
+type IncVerifier struct {
+	n   int
+	obj genlin.Object
+
+	inc   *check.Incremental // non-nil when obj is linearizability of a model
+	hFull history.History    // assembled history for the generic-object path
+
+	consumed   []int   // per-process count of tuples already ingested
+	annPrev    []int   // announcements already emitted as invocations
+	lastCounts []int   // view counts of the current last group; nil before the first tuple
+	all        []Tuple // every distinct tuple seen, for rebuilds
+	seen       map[uint64]struct{}
+	pendingOp  map[int]uint64 // proc -> open invocation, for §2 well-formedness
+
+	verdict check.Verdict
+	err     error
+	stats   IncVerifyStats
+}
+
+// IncVerifyStats counts the pipeline's work; cmd/stress prints them and
+// EXPERIMENTS.md records them.
+type IncVerifyStats struct {
+	Passes   int // ingest calls that saw at least one new tuple
+	Tuples   int // distinct tuples ingested
+	Groups   int // view groups appended incrementally
+	Rebuilds int // full X(τ) reconstructions (out-of-order publications)
+	Check    check.IncStats
+}
+
+// NewIncVerifier builds the pipeline for n processes monitoring obj.
+func NewIncVerifier(n int, obj genlin.Object) *IncVerifier {
+	iv := &IncVerifier{
+		n:         n,
+		obj:       obj,
+		consumed:  make([]int, n),
+		annPrev:   make([]int, n),
+		seen:      make(map[uint64]struct{}),
+		pendingOp: make(map[int]uint64),
+		verdict:   check.Yes,
+	}
+	if m := genlin.Model(obj); m != nil {
+		iv.inc = check.NewIncremental(m)
+	}
+	return iv
+}
+
+// IngestHeads consumes a fresh scan of the result snapshot, ingesting only
+// tuples published since the previous call. It reports whether anything new
+// was processed.
+func (iv *IncVerifier) IngestHeads(heads []*conslist.Node[Tuple]) bool {
+	var delta []Tuple
+	for p, h := range heads {
+		if p >= iv.n {
+			break
+		}
+		if h.Depth() > iv.consumed[p] {
+			delta = append(delta, h.AscendingSince(iv.consumed[p])...)
+		}
+	}
+	return iv.IngestTuples(delta)
+}
+
+// IngestTuples ingests a batch of newly published tuples (from one or more
+// processes). Batches must be disjoint and each process's tuples must arrive
+// in publication order — every tuple is a new position of its process's
+// result list, which is how the IngestHeads cursor stays aligned. (An op
+// *republished* at a new position by a corrupted producer is deduplicated by
+// identity below; that consumes the position without re-checking the op.)
+// It reports whether anything new was processed.
+func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
+	fresh := delta[:0:len(delta)]
+	for _, t := range delta {
+		if t.Proc >= 0 && t.Proc < iv.n {
+			iv.consumed[t.Proc]++
+		}
+		if _, dup := iv.seen[t.Op.Uniq]; dup {
+			continue
+		}
+		iv.seen[t.Op.Uniq] = struct{}{}
+		iv.all = append(iv.all, t)
+		fresh = append(fresh, t)
+	}
+	if len(fresh) == 0 {
+		return false
+	}
+	iv.stats.Passes++
+	iv.stats.Tuples += len(fresh)
+	if iv.violated() {
+		return true // sticky: retain the tuples, skip all checking
+	}
+
+	// Views must be appended in containment order; within one batch, order by
+	// view size (total order among comparable views).
+	sortTuplesByViewSize(fresh)
+
+	var events history.History
+	for _, t := range fresh {
+		counts := t.View.Counts()
+		if len(counts) != iv.n {
+			iv.fail(fmt.Errorf("view arity %d, want %d", len(counts), iv.n), events)
+			return true
+		}
+		switch {
+		case iv.lastCounts == nil || leqCounts(iv.lastCounts, counts):
+			if iv.lastCounts == nil || !eqCounts(iv.lastCounts, counts) {
+				// A strictly larger view starts a new group: emit the
+				// invocations of its new announcements first.
+				for p := 0; p < iv.n; p++ {
+					for _, ann := range t.View.annsSince(p, iv.annPrev[p]) {
+						ev := history.Event{Kind: history.Invoke, Proc: ann.Proc, ID: ann.Op.Uniq, Op: ann.Op}
+						if err := iv.admit(ev); err != nil {
+							iv.fail(err, events)
+							return true
+						}
+						events = append(events, ev)
+					}
+					iv.annPrev[p] = counts[p]
+				}
+				iv.lastCounts = append(iv.lastCounts[:0], counts...)
+				iv.stats.Groups++
+			}
+			ev := history.Event{Kind: history.Return, Proc: t.Proc, ID: t.Op.Uniq, Op: t.Op, Res: t.Res}
+			if err := iv.admit(ev); err != nil {
+				iv.fail(err, events)
+				return true
+			}
+			events = append(events, ev)
+		default:
+			// Late or incomparable view: the append order is broken, fall
+			// back to a full reconstruction over everything seen (remaining
+			// tuples of this batch included — they are already in iv.all).
+			iv.rebuild()
+			return true
+		}
+	}
+	iv.judge(events)
+	return true
+}
+
+// admit validates one event against §2 well-formedness. A violation means
+// the published tuples cannot come from a DRV implementation over a
+// linearizable snapshot (Remark 7.2); whatever produced them is certainly
+// not correct with respect to the object.
+func (iv *IncVerifier) admit(e history.Event) error {
+	switch e.Kind {
+	case history.Invoke:
+		if open, busy := iv.pendingOp[e.Proc]; busy {
+			return fmt.Errorf("process %d invokes op %d while op %d is pending", e.Proc, e.ID, open)
+		}
+		iv.pendingOp[e.Proc] = e.ID
+	case history.Return:
+		open, busy := iv.pendingOp[e.Proc]
+		if !busy || open != e.ID {
+			return fmt.Errorf("process %d responds to op %d with no matching invocation", e.Proc, e.ID)
+		}
+		delete(iv.pendingOp, e.Proc)
+	}
+	return nil
+}
+
+// judge hands the freshly assembled events to the monitor.
+func (iv *IncVerifier) judge(events history.History) {
+	if iv.inc != nil {
+		iv.verdict = iv.inc.Append(events)
+		iv.err = iv.inc.Err()
+		iv.stats.Check = iv.inc.Stats()
+		return
+	}
+	iv.hFull = append(iv.hFull, events...)
+	if !iv.obj.Contains(iv.hFull) {
+		iv.verdict = check.No
+	}
+}
+
+// fail records a views/well-formedness corruption: sticky violation.
+func (iv *IncVerifier) fail(err error, events history.History) {
+	// Keep whatever was assembled so the witness shows the corrupted state.
+	if iv.inc != nil {
+		iv.inc.Append(events)
+		iv.stats.Check = iv.inc.Stats()
+	} else {
+		iv.hFull = append(iv.hFull, events...)
+	}
+	iv.err = &ViewsError{Reason: err.Error()}
+	iv.verdict = check.No
+}
+
+// rebuild reconstructs X(τ) from every tuple seen — the slow path taken when
+// a late publication breaks the incremental append order — and reloads the
+// monitor, restoring exact equivalence with the non-incremental verifier.
+func (iv *IncVerifier) rebuild() {
+	iv.stats.Rebuilds++
+	h, err := BuildHistory(iv.all, iv.n)
+	if err != nil {
+		iv.err = err
+		iv.verdict = check.No
+		if iv.inc == nil {
+			iv.hFull = h
+		}
+		return
+	}
+	// Recompute the assembly trackers from the rebuilt history.
+	iv.lastCounts = nil
+	for _, t := range iv.all {
+		c := t.View.Counts()
+		if iv.lastCounts == nil || leqCounts(iv.lastCounts, c) {
+			iv.lastCounts = append(iv.lastCounts[:0], c...)
+		}
+	}
+	copy(iv.annPrev, iv.lastCounts)
+	iv.pendingOp = make(map[int]uint64)
+	for _, o := range h.Ops() {
+		if !o.Complete {
+			iv.pendingOp[o.Proc] = o.ID
+		}
+	}
+	if iv.inc != nil {
+		iv.verdict = iv.inc.Reset(h)
+		iv.err = iv.inc.Err()
+		iv.stats.Check = iv.inc.Stats()
+		return
+	}
+	iv.hFull = h
+	if iv.obj.Contains(h) {
+		iv.verdict = check.Yes
+	} else {
+		iv.verdict = check.No
+	}
+}
+
+// MarkCorrupt records a violation detected upstream (a scanner's cheap
+// necessary-condition check), with the same sticky semantics as a views
+// error found during assembly.
+func (iv *IncVerifier) MarkCorrupt(reason string) {
+	if iv.violated() {
+		return
+	}
+	iv.err = &ViewsError{Reason: reason}
+	iv.verdict = check.No
+}
+
+// violated reports whether the pipeline has a sticky violation.
+func (iv *IncVerifier) violated() bool { return iv.verdict == check.No || iv.err != nil }
+
+// Verdict returns the verdict for everything ingested so far.
+func (iv *IncVerifier) Verdict() check.Verdict { return iv.verdict }
+
+// Err returns the views/well-formedness corruption, if one was found.
+func (iv *IncVerifier) Err() error { return iv.err }
+
+// Witness returns the assembled history — the violation witness when the
+// verdict is No. Callers must not modify it.
+func (iv *IncVerifier) Witness() history.History {
+	if iv.inc != nil {
+		return iv.inc.History()
+	}
+	return iv.hFull
+}
+
+// Stats returns the pipeline counters so far.
+func (iv *IncVerifier) Stats() IncVerifyStats { return iv.stats }
+
+// sortTuplesByViewSize orders tuples by |λ| ascending (stable): comparable
+// views are ordered by size, so this is containment order within a batch.
+func sortTuplesByViewSize(ts []Tuple) {
+	// Insertion sort: batches are small and usually already ordered.
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j].View.Size() < ts[j-1].View.Size(); j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func leqCounts(a, b []int) bool {
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func eqCounts(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

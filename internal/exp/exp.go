@@ -1,5 +1,5 @@
 // Package exp implements the paper's figures and theorems as executable
-// experiments (the per-experiment index lives in DESIGN.md §3). Each
+// experiments E1–E15 (the per-experiment index lives in DESIGN.md §3). Each
 // experiment returns rows of paper-claim vs measured-outcome; cmd/experiments
 // prints them and EXPERIMENTS.md records them.
 package exp

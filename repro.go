@@ -120,8 +120,12 @@ func NewDRV(inner Implementation, n int) *DRV { return core.NewDRV(inner, n) }
 func NewVerifier(drv *DRV, obj Object) *Verifier { return core.NewVerifier(drv, obj) }
 
 // NewDecoupled builds the decoupled self-enforced implementation D_{O,A}
-// (Figure 12) with the given number of verifier goroutines. Close it when
-// done.
+// (Figure 12) with the given number of verifier goroutines (at least 1 for
+// any verification to happen; 0 disables monitoring entirely). The verifiers
+// run the incremental sharded pipeline of DESIGN.md §2 (delta checking with
+// deduplicated reports — one per violation); onReport is called from
+// verifier goroutines. Close it when done: it first drains and verifies
+// everything published.
 func NewDecoupled(inner Implementation, n, verifiers int, m Model, onReport func(Report)) *Decoupled {
 	return core.NewDecoupled(inner, n, verifiers, genlin.Linearizability(m), onReport)
 }
