@@ -1,8 +1,9 @@
-// Benchmarks B1–B8 of DESIGN.md §3: one benchmark family per complexity or
+// Benchmarks B1–B9 of DESIGN.md §3: one benchmark family per complexity or
 // overhead claim the paper makes in prose, plus B8 for the incremental
-// verification pipeline. Absolute numbers depend on the host; the shapes
-// (linear/quadratic growth in n, constant producer cost, fast-monitor and
-// incremental-pipeline speedups) are what EXPERIMENTS.md records.
+// verification pipeline and B9 for the bounded-memory retention mode.
+// Absolute numbers depend on the host; the shapes (linear/quadratic growth
+// in n, constant producer cost, fast-monitor and incremental-pipeline
+// speedups, flat retained window) are what EXPERIMENTS.md records.
 package repro
 
 import (
@@ -17,6 +18,7 @@ import (
 	"repro/internal/history"
 	"repro/internal/impls"
 	"repro/internal/snapshot"
+	"repro/internal/soak"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -322,22 +324,6 @@ func BenchmarkXOfTau(b *testing.B) {
 // incremental sharded pipeline, monitoring a stream of published operations
 // ---------------------------------------------------------------------------
 
-// benchTuples pre-generates the published sketch of an `ops`-operation run
-// over `procs` producers, applied round-robin through A*.
-func benchTuples(m spec.Model, procs, ops int) []core.Tuple {
-	drv := core.NewDRV(impls.ForModel(m), procs)
-	var uniq trace.UniqSource
-	gen := trace.NewOpGen(m.Name(), 17, &uniq)
-	tuples := make([]core.Tuple, 0, ops)
-	for i := 0; i < ops; i++ {
-		p := i % procs
-		op := gen.Next()
-		y, view := drv.Apply(p, op)
-		tuples = append(tuples, core.Tuple{Proc: p, Op: op, Res: y, View: view})
-	}
-	return tuples
-}
-
 // BenchmarkDecoupledVerify measures the total verification work to monitor a
 // stream of `ops` published operations, one verification pass per
 // publication (steady-state online monitoring):
@@ -353,7 +339,7 @@ func BenchmarkDecoupledVerify(b *testing.B) {
 	const procs = 4
 	for _, m := range []spec.Model{spec.Counter(), spec.Queue()} {
 		for _, ops := range []int{256, 1024, 2048} {
-			tuples := benchTuples(m, procs, ops)
+			tuples := soak.Publish(m, procs, ops)
 			obj := genlin.Linearizability(m)
 			b.Run(fmt.Sprintf("full/%s/ops=%d", m.Name(), ops), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -380,6 +366,87 @@ func BenchmarkDecoupledVerify(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// B9: bounded-memory retention soak — memory stays O(window) on a long
+// stream, and the verdicts stay identical to the unbounded monitor
+// ---------------------------------------------------------------------------
+
+// soakPolicy is the retention policy the B9 numbers are recorded under.
+var soakPolicy = check.RetentionPolicy{GCBatch: 64}
+
+// BenchmarkRetentionSoak streams published operations through the
+// incremental pipeline with and without retention. ns/op covers the whole
+// stream; the custom metrics are the point: retained-events-max is the
+// monitoring window's high-water mark, which stays flat under retention and
+// equals the stream length without it. The retained arm regenerates its
+// stream every iteration (outside the timer): retention truncates the
+// announce cons-lists embedded in the tuples' views, so a stream must never
+// be replayed or shared with the unbounded arm.
+func BenchmarkRetentionSoak(b *testing.B) {
+	const procs = 4
+	m := spec.Counter()
+	obj := genlin.Linearizability(m)
+	for _, ops := range []int{4096, 16384} {
+		run := func(b *testing.B, fresh bool, opts ...core.IncVerifierOption) {
+			maxRetained := 0
+			tuples := soak.Publish(m, procs, ops)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if fresh && i > 0 {
+					b.StopTimer()
+					tuples = soak.Publish(m, procs, ops)
+					b.StartTimer()
+				}
+				iv := core.NewIncVerifier(procs, obj, opts...)
+				maxRetained = 0
+				for k := 0; k < ops; k++ {
+					iv.IngestTuples(tuples[k : k+1])
+					if iv.Verdict() != check.Yes {
+						b.Fatal("correct stream refuted")
+					}
+					if r := iv.Stats().Check.RetainedEvents; r > maxRetained {
+						maxRetained = r
+					}
+				}
+			}
+			b.ReportMetric(float64(maxRetained), "retained-events-max")
+		}
+		b.Run(fmt.Sprintf("retained/ops=%d", ops), func(b *testing.B) {
+			run(b, true, core.WithVerifierRetention(soakPolicy))
+		})
+		b.Run(fmt.Sprintf("unbounded/ops=%d", ops), func(b *testing.B) {
+			run(b, false)
+		})
+	}
+}
+
+// TestSoakRetentionB9 is the B9 acceptance check: on a >=100k-op stream the
+// retained monitor's window is bounded by the policy (not the history
+// length) while its verdict matches the unbounded monitor's at every
+// publication. Reduced under -short; the CI perf gate runs the same body
+// (internal/soak) at reduced scale via cmd/perfgate.
+func TestSoakRetentionB9(t *testing.T) {
+	ops := 100_000
+	if testing.Short() {
+		ops = 20_000
+	}
+	r := soak.Run(spec.Counter(), 4, ops, soakPolicy)
+	if r.DivergedAt >= 0 {
+		t.Fatalf("verdicts diverged from the unbounded oracle at op %d", r.DivergedAt)
+	}
+	if !r.Yes {
+		t.Fatal("correct stream refuted")
+	}
+	if r.MaxRetained > r.Bound {
+		t.Fatalf("retained window high-water %d events exceeds bound %d (stream %d events)",
+			r.MaxRetained, r.Bound, r.Events)
+	}
+	if r.Discarded+r.Retained != r.Events {
+		t.Fatalf("event accounting broken: discarded %d + retained %d != %d",
+			r.Discarded, r.Retained, r.Events)
 	}
 }
 

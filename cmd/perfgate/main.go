@@ -1,0 +1,145 @@
+// Command perfgate is the CI perf/regression gate. It runs two checks
+// in-process and writes their numbers as JSON for the benchmark-trajectory
+// artifact:
+//
+//   - B8 ratio gate: the steady-state verification work of the paper-literal
+//     Figure 12 loop body (flatten, BuildHistory, re-decide the whole prefix
+//     on every publication — what cmd/stress -decoupled -fullrecheck drives)
+//     against the incremental pipeline (what cmd/stress -decoupled drives),
+//     at ops published operations. CI fails if the speedup falls below
+//     -minratio (default 100x, far under the recorded 237x-5541x B8 band, so
+//     only a real regression trips it).
+//
+//   - B9 soak gate: the bounded-memory pipeline at reduced scale. CI fails
+//     if the retained window exceeds the policy-derived bound — that is,
+//     if memory scales with history length again — or if the retained
+//     verdict diverges from the unbounded monitor's.
+//
+// Usage:
+//
+//	perfgate                    # both gates, JSON to BENCH_perf_smoke.json
+//	perfgate -ops 1024 -soakops 20000 -out path.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/genlin"
+	"repro/internal/soak"
+	"repro/internal/spec"
+)
+
+type result struct {
+	Ops            int     `json:"ops"`
+	FullNs         int64   `json:"full_recheck_ns"`
+	IncNs          int64   `json:"incremental_ns"`
+	Ratio          float64 `json:"ratio"`
+	MinRatio       float64 `json:"min_ratio"`
+	SoakOps        int     `json:"soak_ops"`
+	SoakRetainedHW int     `json:"soak_retained_events_max"`
+	SoakBound      int     `json:"soak_retained_events_bound"`
+	SoakDiscarded  int     `json:"soak_discarded_events"`
+	SoakNs         int64   `json:"soak_ns"`
+	Pass           bool    `json:"pass"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	ops := flag.Int("ops", 1024, "published operations for the B8 ratio gate")
+	soakOps := flag.Int("soakops", 20000, "published operations for the B9 soak gate")
+	minRatio := flag.Float64("minratio", 100, "minimum incremental-vs-fullrecheck speedup")
+	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
+	flag.Parse()
+
+	procs := 4
+	m := spec.Counter()
+	obj := genlin.Linearizability(m)
+	res := result{Ops: *ops, SoakOps: *soakOps, MinRatio: *minRatio}
+	ok := true
+
+	// --- B8 ratio gate -----------------------------------------------------
+	tuples := soak.Publish(m, procs, *ops)
+	start := time.Now()
+	for k := 1; k <= *ops; k++ {
+		x, err := core.BuildHistory(tuples[:k], procs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "full recheck: %v\n", err)
+			return 1
+		}
+		if !obj.Contains(x) {
+			fmt.Fprintln(os.Stderr, "full recheck refuted a correct stream")
+			return 1
+		}
+	}
+	res.FullNs = time.Since(start).Nanoseconds()
+
+	start = time.Now()
+	iv := core.NewIncVerifier(procs, obj)
+	for k := 0; k < *ops; k++ {
+		iv.IngestTuples(tuples[k : k+1])
+		if iv.Verdict() != check.Yes {
+			fmt.Fprintln(os.Stderr, "incremental pipeline refuted a correct stream")
+			return 1
+		}
+	}
+	res.IncNs = time.Since(start).Nanoseconds()
+	if res.IncNs > 0 {
+		res.Ratio = float64(res.FullNs) / float64(res.IncNs)
+	}
+	fmt.Printf("B8 gate: ops=%d full=%v incremental=%v ratio=%.0fx (min %.0fx)\n",
+		*ops, time.Duration(res.FullNs), time.Duration(res.IncNs), res.Ratio, *minRatio)
+	if res.Ratio < *minRatio {
+		fmt.Fprintf(os.Stderr, "FAIL: B8 speedup ratio %.1fx below the %.0fx gate\n", res.Ratio, *minRatio)
+		ok = false
+	}
+
+	// --- B9 soak gate ------------------------------------------------------
+	// Same body as TestSoakRetentionB9, at reduced scale (internal/soak).
+	start = time.Now()
+	sr := soak.Run(m, procs, *soakOps, check.RetentionPolicy{GCBatch: 64})
+	res.SoakNs = time.Since(start).Nanoseconds()
+	res.SoakRetainedHW = sr.MaxRetained
+	res.SoakBound = sr.Bound
+	res.SoakDiscarded = sr.Discarded
+	fmt.Printf("B9 gate: soak ops=%d retained-events-max=%d (bound %d) discarded=%d in %v\n",
+		*soakOps, sr.MaxRetained, sr.Bound, sr.Discarded, time.Duration(res.SoakNs))
+	switch {
+	case sr.DivergedAt >= 0:
+		fmt.Fprintf(os.Stderr, "FAIL: B9 verdicts diverged from the unbounded oracle at op %d\n", sr.DivergedAt)
+		ok = false
+	case !sr.Yes:
+		fmt.Fprintln(os.Stderr, "FAIL: B9 correct stream refuted")
+		ok = false
+	case sr.MaxRetained > sr.Bound:
+		fmt.Fprintf(os.Stderr, "FAIL: retained window %d events exceeds the %d bound — memory is O(history) again\n",
+			sr.MaxRetained, sr.Bound)
+		ok = false
+	}
+
+	res.Pass = ok
+	if *out != "" {
+		buf, err := json.MarshalIndent(res, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if !ok {
+		return 1
+	}
+	fmt.Println("perf gates passed")
+	return 0
+}

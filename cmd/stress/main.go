@@ -9,16 +9,19 @@
 //	stress -model counter -fault stale -rate 16 -procs 4
 //	stress -model counter -decoupled -verifiers 3 -ops 2000
 //	stress -model counter -decoupled -fullrecheck -ops 2000   # paper-literal loop
+//	stress -model counter -decoupled -retain -ops 25000       # bounded-memory soak
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/genlin"
 	"repro/internal/impls"
@@ -40,6 +43,9 @@ func run() int {
 	decoupled := flag.Bool("decoupled", false, "soak the decoupled variant (Figure 12) instead of the self-enforced one")
 	verifiers := flag.Int("verifiers", 3, "decoupled verifier goroutines (1 dispatcher + scanners)")
 	fullrecheck := flag.Bool("fullrecheck", false, "decoupled: use the paper-literal whole-history re-check loop")
+	retain := flag.Bool("retain", false, "decoupled: bounded-memory retention (GC committed prefixes behind the frontier)")
+	gcbatch := flag.Int("gcbatch", 0, "retention: GC batch size in events (0 = default)")
+	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
 	flag.Parse()
 
 	m, ok := spec.ByName(*model)
@@ -64,8 +70,21 @@ func run() int {
 	}
 
 	obj := genlin.Linearizability(m)
+	if *retain && *fullrecheck {
+		fmt.Fprintln(os.Stderr, "-retain is incompatible with -fullrecheck (the paper-literal loop re-reads the whole sketch)")
+		return 2
+	}
 	if *decoupled {
-		return runDecoupled(m, obj, mode, *fault, *rate, *procs, *ops, *seeds, *verifiers, *fullrecheck)
+		cfg := decoupledCfg{
+			fault: *fault, rate: *rate, procs: *procs, ops: *ops, seeds: *seeds,
+			verifiers: *verifiers, fullrecheck: *fullrecheck,
+			retain: *retain, gcbatch: *gcbatch, report: *report,
+		}
+		return runDecoupled(m, obj, mode, cfg)
+	}
+	if *retain {
+		fmt.Fprintln(os.Stderr, "-retain requires -decoupled")
+		return 2
 	}
 	var totalOps, totalErrs atomic.Int64
 	detectedRuns := 0
@@ -118,35 +137,76 @@ func run() int {
 	return 0
 }
 
+// decoupledCfg carries the decoupled soak's flag values.
+type decoupledCfg struct {
+	fault       string
+	rate        uint64
+	procs, ops  int
+	seeds       int
+	verifiers   int
+	fullrecheck bool
+	retain      bool
+	gcbatch     int
+	report      time.Duration
+}
+
 // runDecoupled soaks D_{O,A} (Figure 12): producers never wait for
 // verification, the verifier pipeline reports asynchronously, and Close
 // performs a final drain, so by the end of each run every published tuple
-// has been verified.
-func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, fault string, rate uint64, procs, ops, seeds, verifiers int, fullrecheck bool) int {
+// has been verified. With -retain the pipeline garbage-collects committed
+// prefixes and the soak reports live heap and retained-ops numbers.
+func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg decoupledCfg) int {
 	var totalOps atomic.Int64
 	detectedRuns := 0
 	var agg core.DecoupledStats
 	start := time.Now()
-	for seed := 0; seed < seeds; seed++ {
+	for seed := 0; seed < cfg.seeds; seed++ {
 		inner := impls.ForModel(m)
 		if mode != 0 {
-			inner = impls.NewFaulty(inner, mode, rate, uint64(seed))
+			inner = impls.NewFaulty(inner, mode, cfg.rate, uint64(seed))
 		}
 		var reports atomic.Int64
 		var opts []core.DecoupledOption
-		if fullrecheck {
+		if cfg.fullrecheck {
 			opts = append(opts, core.WithFullRecheck())
 		}
-		d := core.NewDecoupled(inner, procs, verifiers, obj,
+		if cfg.retain {
+			opts = append(opts, core.WithDecoupledRetention(check.RetentionPolicy{GCBatch: cfg.gcbatch}))
+		}
+		d := core.NewDecoupled(inner, cfg.procs, cfg.verifiers, obj,
 			func(core.Report) { reports.Add(1) }, opts...)
+		stopReport := make(chan struct{})
+		var reportWg sync.WaitGroup
+		if cfg.retain && cfg.report > 0 {
+			reportWg.Add(1)
+			go func() {
+				defer reportWg.Done()
+				tick := time.NewTicker(cfg.report)
+				defer tick.Stop()
+				for {
+					select {
+					case <-stopReport:
+						return
+					case <-tick.C:
+						var ms runtime.MemStats
+						runtime.ReadMemStats(&ms)
+						st := d.Stats()
+						fmt.Printf("live: heap=%.1fMiB produced=%d retained-ops=%d retained-events=%d discarded-events=%d released-nodes=%d\n",
+							float64(ms.HeapAlloc)/(1<<20), totalOps.Load(),
+							st.Verify.RetainedTuples, st.Verify.Check.RetainedEvents,
+							st.Verify.Check.DiscardedEvents, st.ResultNodesReleased)
+					}
+				}
+			}()
+		}
 		var uniq trace.UniqSource
 		var wg sync.WaitGroup
-		for p := 0; p < procs; p++ {
+		for p := 0; p < cfg.procs; p++ {
 			wg.Add(1)
 			go func(p int) {
 				defer wg.Done()
 				gen := trace.NewOpGen(m.Name(), int64(seed)*101+int64(p), &uniq)
-				for i := 0; i < ops; i++ {
+				for i := 0; i < cfg.ops; i++ {
 					d.Apply(p, gen.Next())
 					totalOps.Add(1)
 				}
@@ -154,30 +214,47 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, fault s
 		}
 		wg.Wait()
 		d.Close()
+		close(stopReport)
+		reportWg.Wait()
 		st := d.Stats()
 		agg.Scans += st.Scans
 		agg.Reports += st.Reports
+		agg.ResultNodesReleased += st.ResultNodesReleased
 		agg.Verify.Passes += st.Verify.Passes
 		agg.Verify.Tuples += st.Verify.Tuples
 		agg.Verify.Groups += st.Verify.Groups
 		agg.Verify.Rebuilds += st.Verify.Rebuilds
+		agg.Verify.Deferrals += st.Verify.Deferrals
+		agg.Verify.DiscardedTuples += st.Verify.DiscardedTuples
+		agg.Verify.AnnNodesReleased += st.Verify.AnnNodesReleased
 		agg.Verify.Check.SegChecks += st.Verify.Check.SegChecks
 		agg.Verify.Check.Fallbacks += st.Verify.Check.Fallbacks
 		agg.Verify.Check.Compactions += st.Verify.Check.Compactions
+		agg.Verify.Check.GCRuns += st.Verify.Check.GCRuns
+		agg.Verify.Check.DiscardedEvents += st.Verify.Check.DiscardedEvents
+		// Gauges, not counters: keep the last run's final state.
+		agg.Verify.RetainedTuples = st.Verify.RetainedTuples
+		agg.Verify.Check.RetainedEvents = st.Verify.Check.RetainedEvents
 		if reports.Load() > 0 {
 			detectedRuns++
 		}
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v\n",
-		m.Name(), fault, rate, procs, ops, seeds, verifiers, fullrecheck)
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v\n",
+		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain)
 	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
 		agg.Scans, agg.Verify.Passes, agg.Verify.Tuples, agg.Verify.Groups, agg.Verify.Rebuilds,
 		agg.Verify.Check.SegChecks, agg.Verify.Check.Fallbacks, agg.Verify.Check.Compactions, agg.Reports)
-	fmt.Printf("runs with ERROR report: %d/%d\n", detectedRuns, seeds)
+	if cfg.retain {
+		fmt.Printf("retention: gcruns=%d discarded-events=%d retained-events(last run)=%d discarded-tuples=%d retained-tuples(last run)=%d deferrals=%d released: result-nodes=%d ann-nodes=%d\n",
+			agg.Verify.Check.GCRuns, agg.Verify.Check.DiscardedEvents, agg.Verify.Check.RetainedEvents,
+			agg.Verify.DiscardedTuples, agg.Verify.RetainedTuples, agg.Verify.Deferrals,
+			agg.ResultNodesReleased, agg.Verify.AnnNodesReleased)
+	}
+	fmt.Printf("runs with ERROR report: %d/%d\n", detectedRuns, cfg.seeds)
 	if mode == 0 && detectedRuns > 0 {
 		fmt.Fprintln(os.Stderr, "FALSE ERRORS on a correct implementation")
 		return 1

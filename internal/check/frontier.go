@@ -1,0 +1,155 @@
+package check
+
+import (
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// FinalStates enumerates the distinct sequential states reachable by
+// linearizations of h from init: the exact "state cover" of a quiescent cut.
+// h must be quiescent (every operation complete); ok is false if it is not,
+// if more than maxStates distinct states exist, or if the enumeration
+// explores more than budget configurations beyond the one-push-per-operation
+// linear minimum.
+//
+// This is what makes garbage-collecting a committed prefix verdict-exact. A
+// linearizable quiescent prefix can have several legal sequential orders with
+// different final states — concurrent Enq(1) and Enq(2) leave the queue as
+// [1,2] or [2,1] — and a future suffix may only be explained by one of them.
+// Retention therefore summarises the prefix as the full set: the suffix is
+// linearizable after the prefix iff it is linearizable from some member
+// (every discarded operation precedes every future event in real time, so
+// any witness of the whole history splits at the cut).
+//
+// The walk is the Wing–Gong search with memoisation on (linearized-set,
+// state), continued past the first success: a configuration's subtree is
+// explored once, so each distinct final state is recorded exactly once.
+//
+// NOTE: this DFS, Linearizable (wg.go) and segSearch.Run (persist.go) share
+// the candidate-list/lift/memo discipline; a fix to one usually applies to
+// the others (they differ in stop condition, pending handling and state
+// persistence, which is why they are not one function).
+func FinalStates(init spec.State, h history.History, budget, maxStates int) ([]spec.State, bool) {
+	ops := h.Ops()
+	if len(ops) == 0 {
+		return []spec.State{init}, true
+	}
+	for _, o := range ops {
+		if !o.Complete {
+			return nil, false
+		}
+	}
+
+	head := &node{}
+	tail := head
+	addNode := func(n *node) {
+		n.prev = tail
+		tail.next = n
+		tail = n
+	}
+	calls := make(map[uint64]*node, len(ops))
+	opIdxByID := make(map[uint64]int, len(ops))
+	for i, o := range ops {
+		opIdxByID[o.ID] = i
+	}
+	for _, e := range h {
+		i := opIdxByID[e.ID]
+		switch e.Kind {
+		case history.Invoke:
+			n := &node{opIdx: i, isCall: true}
+			calls[e.ID] = n
+			addNode(n)
+		case history.Return:
+			call := calls[e.ID]
+			ret := &node{opIdx: i, match: call}
+			call.match = ret
+			addNode(ret)
+		}
+	}
+
+	type frame struct {
+		n    *node
+		prev spec.State
+	}
+	state := init
+	bs := newBitset(len(ops))
+	memo := make(map[string]struct{})
+	memoOn := false // memoise only after the first backtrack, as in segSearch.Run
+	keyBuf := make([]byte, 0, 8*len(bs)+64)
+	var stack []frame
+	remaining := len(ops)
+	explored := 0
+	// The budget guards against combinatorial blowup, so it bounds the work
+	// beyond the linear minimum: any single linearization already costs one
+	// push per operation.
+	budget += len(ops)
+
+	var finals []spec.State
+	seenFinal := make(map[string]struct{})
+
+	entry := head.next
+	for {
+		if remaining == 0 {
+			if _, dup := seenFinal[state.Key()]; !dup {
+				seenFinal[state.Key()] = struct{}{}
+				finals = append(finals, state)
+				if len(finals) > maxStates {
+					return nil, false
+				}
+			}
+			entry = nil // force a backtrack: keep enumerating
+		}
+		if entry != nil && entry.isCall {
+			o := ops[entry.opIdx]
+			next, res, ok := state.Apply(o.Op)
+			if ok && res != o.Res {
+				ok = false
+			}
+			if ok {
+				prune := false
+				if memoOn {
+					bs.set(entry.opIdx)
+					keyBuf = bs.appendKey(keyBuf[:0])
+					keyBuf = append(keyBuf, next.Key()...)
+					key := string(keyBuf)
+					if _, seen := memo[key]; seen {
+						prune = true
+						bs.clear(entry.opIdx)
+					} else {
+						memo[key] = struct{}{}
+					}
+				} else {
+					bs.set(entry.opIdx)
+				}
+				if !prune {
+					explored++
+					if explored > budget {
+						return nil, false
+					}
+					stack = append(stack, frame{n: entry, prev: state})
+					entry.lift()
+					remaining--
+					state = next
+					entry = head.next
+					continue
+				}
+			}
+			entry = entry.next
+			continue
+		}
+		if len(stack) == 0 {
+			// finals is empty iff h has no linearization from init: the state
+			// contributes nothing to the cut (ok is still true — emptiness is
+			// an exact answer, not an enumeration failure).
+			return finals, true
+		}
+		memoOn = true
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		f.n.unlift()
+		remaining++
+		bs.clear(f.n.opIdx)
+		state = f.prev
+		entry = f.n.next
+	}
+}

@@ -19,13 +19,16 @@ import (
 //  1. sticky No — linearizability is prefix-closed (Lemma 7.1), so once a
 //     prefix is refuted every extension is refuted without further work;
 //  2. delta gating — an empty delta returns the cached verdict;
-//  3. segment check — the complete checker runs only on the events after the
-//     committed frontier, starting the sequential object at the frontier
-//     state; a Yes here is sound because the committed witness concatenated
-//     with the segment witness is a legal sequential witness of the whole
-//     history that respects real time (every committed operation returned
-//     before every event of the segment);
-//  4. staged fallback — if the segment check fails, the cheap sound
+//  3. segment check — a persistent Wing–Gong search (segSearch) runs only on
+//     the events after the committed frontier, starting the sequential object
+//     at the frontier state; the search state survives across appends, so a
+//     burst whose suffix keeps linearizing costs O(delta) per append instead
+//     of re-running from the frontier. A Yes here is sound because the
+//     committed witness concatenated with the segment witness is a legal
+//     sequential witness of the whole history that respects real time (every
+//     committed operation returned before every event of the segment). A
+//     resumed refutation is re-decided by a scratch search before it counts;
+//  4. staged fallback — if the exact segment check fails, the cheap sound
 //     necessary-condition monitor (NoDetector) and then the complete checker
 //     run on the full retained history, so the final verdict is exactly that
 //     of IsLinearizable on the whole history.
@@ -33,18 +36,34 @@ import (
 // The frontier only advances at quiescent cuts: points where no operation is
 // pending and the history so far is linearizable. Cutting anywhere else would
 // be unsound (a pending operation may have to linearize before already-seen
-// operations), and cutting on a non-deterministically-reached state would
-// make the segment check refute linearizable histories; the fallback keeps
-// the verdict complete regardless.
+// operations). In the default full-witness mode the frontier is the single
+// state reached by the discovered witness — possibly the wrong choice, which
+// the fallback repairs — and the whole history is retained forever.
+//
+// With WithRetention the monitor instead keeps memory O(window): the frontier
+// is the exact set of states reachable by any linearization of the committed
+// prefix (FinalStates), which makes a failed segment check a sound refutation
+// with no full-history fallback, and lets the committed prefix be discarded
+// outright. See RetentionPolicy for what is given up in exchange.
 //
 // Incremental is not safe for concurrent use.
 type Incremental struct {
-	model spec.Model
-	noDet Monitor // sound necessary-condition monitor; nil if the model has none
+	model  spec.Model
+	noDet  Monitor // sound necessary-condition monitor; nil if the model has none
+	retain bool
+	policy RetentionPolicy
 
-	h        history.History
-	cutIdx   int        // events before cutIdx are committed
-	cutState spec.State // sequential state after the committed prefix
+	h     history.History
+	hBase int          // events discarded by GC before h[0] (retention mode)
+	base  []spec.State // exact state set at hBase; nil means {model.Init()}
+
+	cutIdx   int          // events of h before cutIdx are committed
+	cuts     []int        // indexes of h at which no operation was open, ascending, > cutIdx
+	frontier []spec.State // states at the cut: len 1 (witness) unless retaining (exact set)
+	searches []*segSearch // persistent segment search per frontier state
+	dead     []bool       // retention: frontier states that exactly refuted the segment
+
+	marks []cutMark // retention: recent cuts eligible as GC points
 
 	pendingOp map[int]uint64 // proc -> id of its open invocation
 	seenIDs   map[uint64]struct{}
@@ -54,11 +73,82 @@ type Incremental struct {
 	stats   IncStats
 }
 
+// cutMark remembers a quiescent cut and its exact state set so GC can honour
+// RetentionPolicy.KeepEvents by cutting at an earlier frontier.
+type cutMark struct {
+	idx    int // index into h
+	states []spec.State
+}
+
+// RetentionPolicy bounds the monitor's memory. The trade-offs, all of which
+// the default full-witness mode avoids by retaining everything:
+//
+//   - History() returns only the retained window, so a violation witness does
+//     not reach back past the GC horizon (the discarded prefix was committed
+//     linearizable, so the window plus the frontier set is still a proof);
+//   - a duplicate of an operation id that was discarded is no longer
+//     detected as a §2 violation;
+//   - Append after a No stops retaining events (the window at the violation
+//     is frozen as the witness) — memory stays bounded even on a refuted
+//     stream.
+//
+// Verdicts are NOT weakened: the frontier is the exact state set of the
+// discarded prefix, so retained verdicts equal IsLinearizable on the whole
+// history at every append (equivalence-tested in retention_test.go). When the
+// exact-set enumeration exceeds StateBudget or MaxFrontierStates the monitor
+// skips the cut — never approximates — and retries at the next quiescent
+// point, temporarily retaining more.
+type RetentionPolicy struct {
+	// KeepEvents is how many committed events to keep behind the frontier for
+	// diagnostic context. GC cuts at the most recent quiescent cut at least
+	// KeepEvents behind the current one. Default 0.
+	KeepEvents int
+	// GCBatch is the minimum number of discardable events worth a GC pass;
+	// smaller prefixes are kept until more commit. Default 64.
+	GCBatch int
+	// StateBudget caps the configurations explored beyond the linear minimum
+	// when enumerating the exact frontier set at a cut. Default 1 << 17.
+	StateBudget int
+	// MaxFrontierStates caps the size of the exact frontier set. Default 16.
+	MaxFrontierStates int
+}
+
+func (p RetentionPolicy) withDefaults() RetentionPolicy {
+	if p.GCBatch <= 0 {
+		p.GCBatch = 64
+	}
+	if p.StateBudget <= 0 {
+		p.StateBudget = 1 << 17
+	}
+	if p.MaxFrontierStates <= 0 {
+		p.MaxFrontierStates = 16
+	}
+	if p.KeepEvents < 0 {
+		p.KeepEvents = 0
+	}
+	return p
+}
+
+// IncOption configures an Incremental monitor.
+type IncOption func(*Incremental)
+
+// WithRetention opts in to bounded-memory monitoring under the given policy
+// (zero values take defaults): committed prefixes behind the quiescent-cut
+// frontier are garbage-collected, summarised as the exact set of sequential
+// states any of their linearizations can reach.
+func WithRetention(p RetentionPolicy) IncOption {
+	return func(inc *Incremental) {
+		inc.retain = true
+		inc.policy = p.withDefaults()
+	}
+}
+
 // IncStats counts what the incremental pipeline actually did; EXPERIMENTS.md
-// records them and cmd/stress prints them.
+// records them and cmd/stress prints them. Counters are cumulative over the
+// monitor's lifetime — Reset does not zero them (see Reset).
 type IncStats struct {
 	Appends     int // Append calls
-	Events      int // events ingested
+	Events      int // events ingested (reloaded events count again)
 	CachedNoOps int // empty deltas answered from the cached verdict
 	StickyNo    int // appends answered by prefix-closure alone
 	SegChecks   int // segment checks run
@@ -66,30 +156,40 @@ type IncStats struct {
 	MaxSegment  int // largest segment (in events) ever checked
 	Fallbacks   int // full-history fallback checks
 	Compactions int // quiescent cuts committed
+	Resets      int // Reset and ReloadWindow calls
+
+	SearchResumes  int // segment checks answered by resuming the persistent search
+	SearchRebuilds int // scratch rebuilds of the persistent search
+
+	GCRuns            int   // garbage collections performed
+	DiscardedEvents   int   // events released by GC, cumulative
+	FrontierOverflows int   // cuts skipped: exact frontier set over budget
+	RetainedEvents    int   // events currently held (gauge)
+	RetainedBytes     int64 // approximate bytes of retained events (gauge)
+	FrontierStates    int   // current size of the frontier state set (gauge)
 }
 
 // NewIncremental returns an incremental monitor for the model, positioned at
 // the empty history (which is trivially a member).
-func NewIncremental(m spec.Model) *Incremental {
-	return &Incremental{
+func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
+	inc := &Incremental{
 		model:     m,
 		noDet:     NoDetector(m),
-		cutState:  m.Init(),
+		frontier:  []spec.State{m.Init()},
+		searches:  make([]*segSearch, 1),
 		pendingOp: make(map[int]uint64),
 		seenIDs:   make(map[uint64]struct{}),
 		verdict:   Yes,
 	}
+	for _, opt := range opts {
+		opt(inc)
+	}
+	if inc.retain {
+		inc.dead = make([]bool, 1)
+	}
+	inc.stats.FrontierStates = 1
+	return inc
 }
-
-// fromState is a model with its initial state replaced: the sequential object
-// resumed at a committed frontier.
-type fromState struct {
-	name string
-	init spec.State
-}
-
-func (f fromState) Name() string     { return f.name }
-func (f fromState) Init() spec.State { return f.init }
 
 // Append extends the monitored history with delta and returns the verdict for
 // the extended history. The result equals IsLinearizable on the whole history
@@ -99,9 +199,12 @@ func (f fromState) Init() spec.State { return f.init }
 func (inc *Incremental) Append(delta history.History) Verdict {
 	inc.stats.Appends++
 	if inc.verdict == No {
-		// Prefix-closure: keep the events (History stays the full witness)
-		// but skip all checking.
-		inc.h = append(inc.h, delta...)
+		// Prefix-closure: skip all checking. The full-witness mode keeps the
+		// events (History stays the whole witness); retention freezes the
+		// window at the violation so memory stays bounded.
+		if !inc.retain {
+			inc.h = append(inc.h, delta...)
+		}
 		inc.stats.Events += len(delta)
 		inc.stats.StickyNo++
 		return No
@@ -114,29 +217,77 @@ func (inc *Incremental) Append(delta history.History) Verdict {
 		if err := inc.admit(e); err != nil {
 			inc.h = append(inc.h, delta[i:]...)
 			inc.stats.Events += len(delta) - i
+			inc.gauges()
 			inc.err = err
 			inc.verdict = No
 			return No
 		}
 		inc.h = append(inc.h, e)
 		inc.stats.Events++
+		if len(inc.pendingOp) == 0 {
+			inc.cuts = append(inc.cuts, len(inc.h))
+		}
 	}
+	if inc.checkSegment() {
+		inc.verdict = Yes
+		inc.advanceCuts()
+		inc.gauges()
+		return Yes
+	}
+	if inc.retain {
+		// The frontier set is exact, so refuting the segment from every live
+		// state refutes the whole history: no fallback needed (or possible —
+		// the prefix is gone).
+		inc.gauges()
+		inc.verdict = No
+		return No
+	}
+	return inc.fallback()
+}
 
+// checkSegment decides whether the events after the cut linearize from some
+// frontier state, resuming each state's persistent search and re-deciding
+// refutations with a scratch search so that a false answer is exact.
+func (inc *Incremental) checkSegment() bool {
 	seg := inc.h[inc.cutIdx:]
 	inc.stats.SegChecks++
 	if len(seg) > inc.stats.MaxSegment {
 		inc.stats.MaxSegment = len(seg)
 	}
-	r := Linearizable(fromState{name: inc.model.Name(), init: inc.cutState}, seg)
-	if r.Ok {
-		inc.stats.SegYes++
-		inc.verdict = Yes
-		if len(inc.pendingOp) == 0 {
-			inc.compact(r.Linearization)
+	for i := range inc.frontier {
+		if inc.dead != nil && inc.dead[i] {
+			continue
 		}
-		return Yes
+		se := inc.searches[i]
+		if se == nil {
+			se = rebuildSegSearch(inc.frontier[i], seg)
+			inc.searches[i] = se
+			inc.stats.SearchRebuilds++
+		} else {
+			se.Feed(seg[se.fed:])
+			inc.stats.SearchResumes++
+		}
+		if se.Run() {
+			inc.stats.SegYes++
+			return true
+		}
+		if !se.Exhausted() {
+			// Optimistic resume refuted; only a fresh search is complete.
+			se = rebuildSegSearch(inc.frontier[i], seg)
+			inc.searches[i] = se
+			inc.stats.SearchRebuilds++
+			if se.Run() {
+				inc.stats.SegYes++
+				return true
+			}
+		}
+		if inc.dead != nil {
+			// Exact refutation from this state; prefix-closure keeps it
+			// refuted under every extension of the segment.
+			inc.dead[i] = true
+		}
 	}
-	return inc.fallback()
+	return false
 }
 
 // admit validates one event against the well-formedness conditions of §2,
@@ -167,63 +318,242 @@ func (inc *Incremental) admit(e history.Event) error {
 // fallback decides the full retained history: the cheap sound No conditions
 // first, then the complete checker. It restores completeness after a failed
 // segment check (the frontier state may have been the wrong witness choice).
+// Full-witness mode only; retention keeps the frontier exact instead.
 func (inc *Incremental) fallback() Verdict {
 	inc.stats.Fallbacks++
 	if inc.noDet != nil && inc.noDet.Check(inc.h) == No {
+		inc.gauges()
 		inc.verdict = No
 		return No
 	}
 	r := Linearizable(inc.model, inc.h)
 	if !r.Ok {
+		inc.gauges()
 		inc.verdict = No
 		return No
 	}
 	// The committed decomposition was refutable but the history is a member:
 	// discard the frontier and recommit at the next quiescent cut.
 	inc.verdict = Yes
-	inc.cutIdx, inc.cutState = 0, inc.model.Init()
-	if len(inc.pendingOp) == 0 {
-		inc.compact(r.Linearization)
+	inc.resetFrontier([]spec.State{inc.model.Init()})
+	if inc.retain {
+		inc.advanceCuts() // stepwise, keeping the frontier set exact
+	} else if len(inc.pendingOp) == 0 {
+		inc.compactWitness(r.Linearization, len(inc.h))
+		inc.cuts = inc.cuts[:0]
 	}
+	inc.gauges()
 	return Yes
 }
 
-// compact advances the committed frontier to the end of the current history,
-// folding the witness into the frontier state. Callers guarantee quiescence
-// (no pending operations), so the witness covers every operation and every
-// committed operation precedes every future event in real time.
-func (inc *Incremental) compact(lin []LinOp) {
-	st := inc.cutState
-	for _, l := range lin {
+// resetFrontier moves the cut back to the start of the retained history with
+// the given state set.
+func (inc *Incremental) resetFrontier(states []spec.State) {
+	inc.cutIdx = 0
+	inc.frontier = states
+	inc.searches = make([]*segSearch, len(states))
+	if inc.retain {
+		inc.dead = make([]bool, len(states))
+	}
+	inc.stats.FrontierStates = len(states)
+}
+
+// advanceCuts commits the frontier through the quiescent boundaries the
+// admitted events passed. A boundary need not be the end of an append: under
+// sustained concurrency batch boundaries are almost never quiescent
+// themselves, but the stream keeps passing through quiescent moments, and
+// every operation before such a moment returned before every event after it,
+// so the decomposition argument is unchanged and the still-open suffix stays
+// in the segment. Retention walks the boundaries one piece at a time so each
+// exact-set enumeration covers only the gap between consecutive quiescent
+// moments (a single enumeration over a burst-sized piece would blow its
+// budget); the full-witness mode folds its witness once, straight to the
+// last boundary.
+func (inc *Incremental) advanceCuts() {
+	n := len(inc.cuts)
+	if n == 0 {
+		return
+	}
+	if !inc.retain {
+		if q := inc.cuts[n-1]; q > inc.cutIdx {
+			inc.compactTo(q)
+		}
+		inc.cuts = inc.cuts[:0]
+		return
+	}
+	// Consume boundaries from the front, re-reading inc.cuts each step:
+	// compactTo runs the collector, which filters the queue and shifts every
+	// index (along with cutIdx) when it drops a prefix — iterating a stale
+	// copy would commit garbage boundaries.
+	for len(inc.cuts) > 0 {
+		q := inc.cuts[0]
+		if q <= inc.cutIdx {
+			inc.cuts = inc.cuts[1:]
+			continue
+		}
+		// Compare absolute stream positions: a successful compactTo may run
+		// the collector, which shifts cutIdx (and the queue) down by the
+		// dropped prefix — the relative index alone can look unchanged.
+		prev := inc.hBase + inc.cutIdx
+		inc.compactTo(q)
+		if inc.hBase+inc.cutIdx == prev {
+			// Enumeration over budget at this boundary. The piece and the
+			// frontier are fixed, so retrying it would fail identically
+			// forever and wedge the collector: drop it and stop for this
+			// append. The next boundary — whose piece reaches past a point
+			// where the state set may have converged again — is attempted on
+			// the next append, bounding the retry work per append.
+			inc.cuts = inc.cuts[1:]
+			return
+		}
+	}
+}
+
+// compactTo advances the committed frontier to end, a quiescent cut of the
+// history: no operation's interval straddles it. The piece up to end is
+// linearizable (the segment check just accepted an extension of it), and
+// every operation in it returned before every event after it, so it can be
+// summarised by state alone. Full-witness mode folds the discovered witness
+// into a single state; retention enumerates the exact state set and then
+// garbage-collects.
+func (inc *Incremental) compactTo(end int) {
+	if !inc.retain {
+		for i, se := range inc.searches {
+			if se != nil && (inc.dead == nil || !inc.dead[i]) {
+				inc.compactWitness(se.Witness(), end)
+				return
+			}
+		}
+		return
+	}
+	piece := inc.h[inc.cutIdx:end]
+	budget := inc.policy.StateBudget
+	var next []spec.State
+	seen := make(map[string]struct{})
+	// A dead state exactly refuted the whole segment, so when the piece IS
+	// the segment its contribution is provably empty and the enumeration can
+	// be skipped. At an interior cut the piece is a proper prefix of the
+	// segment, which the dead state may still linearize — its reachable
+	// states belong in the exact set (the refutation only constrains what
+	// the suffix can extend).
+	wholeSegment := end == len(inc.h)
+	for i, st := range inc.frontier {
+		if wholeSegment && inc.dead[i] {
+			continue
+		}
+		finals, ok := FinalStates(st, piece, budget, inc.policy.MaxFrontierStates)
+		if !ok {
+			inc.stats.FrontierOverflows++
+			return // keep the old cut; retry at the next quiescent point
+		}
+		for _, f := range finals {
+			k := f.Key()
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+			next = append(next, f)
+		}
+		if len(next) > inc.policy.MaxFrontierStates {
+			inc.stats.FrontierOverflows++
+			return
+		}
+	}
+	inc.cutIdx = end
+	inc.frontier = next
+	inc.searches = make([]*segSearch, len(next))
+	inc.dead = make([]bool, len(next))
+	inc.stats.Compactions++
+	inc.stats.FrontierStates = len(next)
+	inc.marks = append(inc.marks, cutMark{idx: inc.cutIdx, states: next})
+	inc.gc()
+}
+
+// compactWitness folds the witness of the piece up to end into a single
+// frontier state (full-witness mode). The witness respects real time and
+// every operation before the quiescent cut precedes every operation after
+// it, so the piece's operations are exactly the witness's first
+// (end-cutIdx)/2 entries.
+func (inc *Incremental) compactWitness(lin []LinOp, end int) {
+	k := (end - inc.cutIdx) / 2
+	if k > len(lin) {
+		return // impossible for a valid witness; refuse to compact
+	}
+	st := inc.frontier[0]
+	for _, l := range lin[:k] {
 		next, _, ok := st.Apply(l.Op)
 		if !ok {
 			return // impossible for a valid witness; refuse to compact
 		}
 		st = next
 	}
-	inc.cutIdx = len(inc.h)
-	inc.cutState = st
+	inc.cutIdx = end
+	inc.frontier = []spec.State{st}
+	inc.searches = make([]*segSearch, 1)
 	inc.stats.Compactions++
+	inc.stats.FrontierStates = 1
 }
 
-// Reset discards all state and reloads the monitor with h, returning its
-// verdict. The decoupled pipeline uses it when late-published tuples force a
-// full reconstruction of X(τ).
-func (inc *Incremental) Reset(h history.History) Verdict {
-	inc.h = append(inc.h[:0:0], h...)
-	inc.cutIdx, inc.cutState = 0, inc.model.Init()
-	inc.pendingOp = make(map[int]uint64)
-	inc.seenIDs = make(map[uint64]struct{})
-	inc.verdict = Yes
-	inc.err = nil
-	inc.stats.Appends++
-	inc.stats.Events += len(h)
-	for _, e := range h {
-		if err := inc.admit(e); err != nil {
-			inc.err = err
-			inc.verdict = No
-			return No
+// gc discards committed events behind the most recent cut that honours
+// KeepEvents, once at least GCBatch events are discardable. The frontier set
+// recorded at that cut becomes the new base: the monitor provably cannot
+// need anything older (every discarded operation completed before the cut
+// and the set covers every witness choice).
+func (inc *Incremental) gc() {
+	best := -1
+	for i, m := range inc.marks {
+		if inc.cutIdx-m.idx >= inc.policy.KeepEvents {
+			best = i
 		}
+	}
+	if best < 0 {
+		return
+	}
+	// Earlier marks can never be a better GC point again.
+	inc.marks = inc.marks[best:]
+	m := inc.marks[0]
+	if m.idx < inc.policy.GCBatch {
+		return
+	}
+	for _, e := range inc.h[:m.idx] {
+		if e.Kind == history.Invoke {
+			delete(inc.seenIDs, e.ID)
+		}
+	}
+	inc.h = inc.h[m.idx:] // appends reallocate at O(window), releasing the prefix
+	inc.hBase += m.idx
+	inc.cutIdx -= m.idx
+	kept := inc.cuts[:0]
+	for _, q := range inc.cuts {
+		if q > m.idx {
+			kept = append(kept, q-m.idx)
+		}
+	}
+	inc.cuts = kept
+	inc.base = m.states
+	for i := range inc.marks {
+		inc.marks[i].idx -= m.idx
+	}
+	inc.stats.GCRuns++
+	inc.stats.DiscardedEvents += m.idx
+}
+
+// gauges refreshes the point-in-time stats.
+func (inc *Incremental) gauges() {
+	inc.stats.RetainedEvents = len(inc.h)
+	inc.stats.RetainedBytes = int64(len(inc.h)) * history.EventBytes
+}
+
+// Reset discards all monitoring state and reloads the monitor with h,
+// returning its verdict. The decoupled pipeline uses it when late-published
+// tuples force a full reconstruction of X(τ). Stats are NOT zeroed: IncStats
+// counters are cumulative over the monitor's lifetime, so pipeline totals
+// survive reloads (Resets counts them; Events counts reloaded events again).
+func (inc *Incremental) Reset(h history.History) Verdict {
+	inc.hBase = 0
+	inc.base = nil
+	if !inc.reload(h, []spec.State{inc.model.Init()}) {
+		return No
 	}
 	if len(h) == 0 {
 		return Yes
@@ -231,12 +561,77 @@ func (inc *Incremental) Reset(h history.History) Verdict {
 	return inc.fallback()
 }
 
+// reload replaces the retained history with h against the given frontier,
+// clearing all per-stream state and replaying h through the well-formedness
+// admitter (recording quiescent cuts as it goes). It reports whether h is
+// well-formed; if not, the verdict is already No with Err set. Reset and
+// ReloadWindow share it and differ only in which frontier anchors the replay.
+func (inc *Incremental) reload(h history.History, frontier []spec.State) bool {
+	inc.h = append(inc.h[:0:0], h...)
+	inc.marks = nil
+	inc.cuts = inc.cuts[:0]
+	inc.resetFrontier(frontier)
+	inc.pendingOp = make(map[int]uint64)
+	inc.seenIDs = make(map[uint64]struct{})
+	inc.verdict = Yes
+	inc.err = nil
+	inc.stats.Resets++
+	inc.stats.Appends++
+	inc.stats.Events += len(h)
+	defer inc.gauges()
+	for i, e := range h {
+		if err := inc.admit(e); err != nil {
+			inc.err = err
+			inc.verdict = No
+			return false
+		}
+		if len(inc.pendingOp) == 0 {
+			inc.cuts = append(inc.cuts, i+1)
+		}
+	}
+	return true
+}
+
+// ReloadWindow replaces the retained window with h while keeping the GC base:
+// the monitor re-decides h as the continuation of the discarded prefix. The
+// retention pipeline uses it when late-published tuples force a window
+// rebuild; before any GC (or without retention) it is exactly Reset.
+func (inc *Incremental) ReloadWindow(h history.History) Verdict {
+	if !inc.retain || inc.hBase == 0 {
+		return inc.Reset(h)
+	}
+	defer inc.gauges() // advanceCuts below can collect part of the window
+	if !inc.reload(h, append([]spec.State(nil), inc.base...)) {
+		return No
+	}
+	if len(h) == 0 {
+		return Yes
+	}
+	if !inc.checkSegment() {
+		inc.verdict = No // exact: the base set covers the discarded prefix
+		return No
+	}
+	inc.advanceCuts()
+	return Yes
+}
+
 // Verdict returns the cached verdict for the history seen so far.
 func (inc *Incremental) Verdict() Verdict { return inc.verdict }
 
-// History returns the full retained history — the violation witness once the
-// verdict is No. Callers must not modify it.
+// History returns the retained history. In the default full-witness mode that
+// is the whole history — the violation witness once the verdict is No. Under
+// WithRetention it is only the window since the GC horizon (Discarded says
+// how much is gone); on a violation the window is frozen as the witness.
+// Callers must not modify it.
 func (inc *Incremental) History() history.History { return inc.h }
+
+// Discarded returns the number of events garbage-collected so far; the
+// retained window starts that many events into the monitored history.
+func (inc *Incremental) Discarded() int { return inc.hBase }
+
+// FrontierSize returns the current number of states summarising the
+// committed prefix.
+func (inc *Incremental) FrontierSize() int { return len(inc.frontier) }
 
 // Err reports why the history became ill-formed, if it did.
 func (inc *Incremental) Err() error { return inc.err }

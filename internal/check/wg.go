@@ -42,6 +42,8 @@ type node struct {
 	opIdx      int
 	isCall     bool
 	match      *node // call -> its return node (nil if pending); ret -> call
+	linPos     int   // segSearch: stack index that linearized this call; -1 if none
+	lifted     bool  // segSearch: node currently removed from the candidate list
 }
 
 func (n *node) lift() {

@@ -66,3 +66,34 @@ func (n *Node[T]) AscendingSince(from int) []T {
 	}
 	return out
 }
+
+// TruncateBefore unlinks the elements with depth < depth from the list,
+// making them collectible once no other reference reaches them, and reports
+// how many nodes it released. The element at depth itself stays reachable.
+//
+// Truncation trades the list's persistence for bounded memory, so it is only
+// safe under a protocol in which every consumer has advanced past the cut:
+// after TruncateBefore(d), Ascending, At(k) and AscendingSince(k) with k < d
+// on any head sharing this structure will dereference nil. AscendingSince(k)
+// with k >= d stays correct — it reads the value and next pointers of nodes
+// strictly above depth k and only the depth field of the node at k, which is
+// immutable — so concurrent readers whose cursors are at or past the cut are
+// undisturbed (see Epoch for tracking the safe floor across consumers).
+func (n *Node[T]) TruncateBefore(depth int) int {
+	if depth <= 1 || n.Depth() < depth {
+		return 0
+	}
+	cur := n
+	for cur.depth > depth {
+		if cur.next == nil {
+			return 0 // a previous truncation already cut at or above depth
+		}
+		cur = cur.next
+	}
+	released := 0
+	for p := cur.next; p != nil; p = p.next {
+		released++ // count to the previous cut, not to depth 1
+	}
+	cur.next = nil
+	return released
+}

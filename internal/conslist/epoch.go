@@ -1,0 +1,48 @@
+package conslist
+
+import "sync/atomic"
+
+// Epoch tracks, for one persistent list, how far each of a fixed set of
+// consumer shards has consumed, so a reclaimer can release the prefix every
+// shard is past. Shards publish monotone depths with Advance; Floor returns
+// the minimum across shards — the largest depth d such that TruncateBefore(d)
+// cannot invalidate any future AscendingSince of a shard that respects its
+// published cursor.
+//
+// Advance and Floor are safe for concurrent use. The zero shard count is not
+// useful; construct with NewEpoch.
+type Epoch struct {
+	consumed []atomic.Int64
+}
+
+// NewEpoch returns an epoch tracker for the given number of consumer shards,
+// all positioned at depth 0.
+func NewEpoch(shards int) *Epoch {
+	return &Epoch{consumed: make([]atomic.Int64, shards)}
+}
+
+// Advance publishes that shard has consumed the list up to depth (inclusive).
+// Depths must be monotone per shard; a stale depth is ignored.
+func (e *Epoch) Advance(shard, depth int) {
+	for {
+		cur := e.consumed[shard].Load()
+		if int64(depth) <= cur {
+			return
+		}
+		if e.consumed[shard].CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+// Floor returns the minimum published depth across all shards: every element
+// at or below it has been consumed by every shard.
+func (e *Epoch) Floor() int {
+	min := int64(1<<63 - 1)
+	for i := range e.consumed {
+		if c := e.consumed[i].Load(); c < min {
+			min = c
+		}
+	}
+	return int(min)
+}

@@ -1,0 +1,133 @@
+package conslist
+
+import (
+	"sync"
+	"testing"
+)
+
+func list(n int) *Node[int] {
+	var h *Node[int]
+	for i := 1; i <= n; i++ {
+		h = Push(h, i)
+	}
+	return h
+}
+
+func TestTruncateBefore(t *testing.T) {
+	h := list(10)
+	if got := h.TruncateBefore(0); got != 0 {
+		t.Fatalf("TruncateBefore(0) released %d", got)
+	}
+	if got := h.TruncateBefore(1); got != 0 {
+		t.Fatalf("TruncateBefore(1) released %d, the whole list must stay", got)
+	}
+	if got := h.TruncateBefore(4); got != 3 {
+		t.Fatalf("TruncateBefore(4) released %d, want 3", got)
+	}
+	// Reads at or above the cut are undisturbed.
+	if got := h.AscendingSince(4); len(got) != 6 || got[0] != 5 {
+		t.Fatalf("AscendingSince(4) after truncation: %v", got)
+	}
+	if got := h.AscendingSince(3); len(got) != 7 {
+		t.Fatalf("AscendingSince at the cut boundary: %v", got)
+	}
+	if h.Depth() != 10 {
+		t.Fatalf("depth changed by truncation: %d", h.Depth())
+	}
+	// Re-truncating at the same or lower depth releases nothing more.
+	if got := h.TruncateBefore(4); got != 0 {
+		t.Fatalf("idempotent truncation released %d", got)
+	}
+	if got := h.TruncateBefore(2); got != 0 {
+		t.Fatalf("lower truncation released %d", got)
+	}
+	// Advancing the cut releases only the remaining chain.
+	if got := h.TruncateBefore(8); got != 4 {
+		t.Fatalf("TruncateBefore(8) released %d, want 4", got)
+	}
+	// A cut deeper than the list is refused.
+	var short *Node[int]
+	short = Push(short, 1)
+	if got := short.TruncateBefore(5); got != 0 {
+		t.Fatalf("over-deep truncation released %d", got)
+	}
+	if (*Node[int])(nil).TruncateBefore(3) != 0 {
+		t.Fatal("nil truncation must be a no-op")
+	}
+}
+
+func TestEpochFloor(t *testing.T) {
+	e := NewEpoch(3)
+	if e.Floor() != 0 {
+		t.Fatalf("fresh floor %d", e.Floor())
+	}
+	e.Advance(0, 10)
+	e.Advance(1, 7)
+	if e.Floor() != 0 {
+		t.Fatalf("floor %d with a shard at 0", e.Floor())
+	}
+	e.Advance(2, 9)
+	if e.Floor() != 7 {
+		t.Fatalf("floor %d, want 7", e.Floor())
+	}
+	e.Advance(1, 3) // stale cursors are ignored
+	if e.Floor() != 7 {
+		t.Fatalf("floor regressed to %d", e.Floor())
+	}
+	e.Advance(1, 12)
+	if e.Floor() != 9 {
+		t.Fatalf("floor %d, want 9", e.Floor())
+	}
+}
+
+// TestEpochTruncateConcurrent is the release protocol under race: a producer
+// pushes, two consumer shards advance their cursors as they read, and the
+// reclaimer truncates at the floor while reads continue above it.
+func TestEpochTruncateConcurrent(t *testing.T) {
+	const total = 5000
+	e := NewEpoch(2)
+	var mu sync.Mutex // stands in for the snapshot: publishes head safely
+	var head *Node[int]
+	read := func(shard int) {
+		cursor := 0
+		for cursor < total {
+			mu.Lock()
+			h := head
+			mu.Unlock()
+			if h.Depth() <= cursor {
+				continue
+			}
+			vals := h.AscendingSince(cursor)
+			for i, v := range vals {
+				if v != cursor+i+1 {
+					t.Errorf("shard %d read %d at depth %d", shard, v, cursor+i+1)
+					return
+				}
+			}
+			cursor += len(vals)
+			e.Advance(shard, cursor)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() { defer wg.Done(); read(0) }()
+	go func() { defer wg.Done(); read(1) }()
+	go func() { // reclaimer rides shard 0's progress
+		defer wg.Done()
+		released := 0
+		for released < total-1 {
+			mu.Lock()
+			h := head
+			mu.Unlock()
+			if f := e.Floor(); f > 0 && h != nil {
+				released += h.TruncateBefore(f)
+			}
+		}
+	}()
+	for i := 1; i <= total; i++ {
+		mu.Lock()
+		head = Push(head, i)
+		mu.Unlock()
+	}
+	wg.Wait()
+}

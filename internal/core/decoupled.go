@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/check"
 	"repro/internal/conslist"
 	"repro/internal/genlin"
 	"repro/internal/snapshot"
@@ -50,23 +51,41 @@ type Decoupled struct {
 	batches  chan tupleBatch
 	full     bool
 
-	scans   atomic.Int64
-	statsMu sync.Mutex
-	stats   DecoupledStats
+	retain bool
+	policy check.RetentionPolicy
+	// epochs[p] tracks, for process p's result cons-list, how deep each
+	// verifier shard (its owning scanner and the dispatcher) has consumed, so
+	// the scanner can release the prefix every shard is past.
+	epochs []*conslist.Epoch
+
+	scans       atomic.Int64
+	resReleased atomic.Int64
+	statsMu     sync.Mutex
+	stats       DecoupledStats
 }
+
+// Shard indices of a result list's epoch tracker.
+const (
+	scannerShard    = 0
+	dispatcherShard = 1
+	epochShards     = 2
+)
 
 // DecoupledStats aggregates the verification pipeline's counters.
 type DecoupledStats struct {
-	Scans   int64 // snapshot scans across all verifier goroutines
-	Reports int   // deduplicated reports issued
-	Verify  IncVerifyStats
+	Scans               int64 // snapshot scans across all verifier goroutines
+	Reports             int   // deduplicated reports issued
+	ResultNodesReleased int64 // result cons-list nodes released by retention
+	Verify              IncVerifyStats
 }
 
 // tupleBatch is one process's newly published tuples, forwarded by a scanner
-// to the dispatcher. corrupt carries a scanner-side necessary-condition
-// verdict (empty = passed).
+// to the dispatcher: positions [from, from+len(tuples)) of proc's result
+// list. corrupt carries a scanner-side necessary-condition verdict (empty =
+// passed).
 type tupleBatch struct {
 	proc    int
+	from    int
 	tuples  []Tuple
 	corrupt string
 }
@@ -77,6 +96,8 @@ type DecoupledOption func(*decoupledCfg)
 type decoupledCfg struct {
 	drvOpts []Option
 	full    bool
+	retain  bool
+	policy  check.RetentionPolicy
 }
 
 // WithDecoupledDRV forwards options to the underlying A* construction.
@@ -88,6 +109,18 @@ func WithDecoupledDRV(opts ...Option) DecoupledOption {
 // verifier loop that re-decides the whole published history every iteration.
 func WithFullRecheck() DecoupledOption {
 	return func(c *decoupledCfg) { c.full = true }
+}
+
+// WithDecoupledRetention bounds the verification pipeline's memory to the
+// monitoring window instead of the history length (zero policy values take
+// defaults): the monitor garbage-collects committed prefixes behind its
+// quiescent-cut frontier (check.WithRetention), the assembler drops tuples
+// and truncates announce lists behind the GC horizon, and scanners release
+// result cons-list prefixes once every verifier shard has consumed past them
+// (conslist.Epoch). Incompatible with WithFullRecheck, whose loop re-reads
+// the whole sketch by definition; full-recheck wins if both are given.
+func WithDecoupledRetention(p check.RetentionPolicy) DecoupledOption {
+	return func(c *decoupledCfg) { c.retain = true; c.policy = p }
 }
 
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
@@ -110,6 +143,8 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 		onReport: onReport,
 		stop:     make(chan struct{}),
 		full:     cfg.full,
+		retain:   cfg.retain && !cfg.full,
+		policy:   cfg.policy,
 	}
 	if verifiers <= 0 {
 		return d
@@ -120,6 +155,12 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 			go d.fullVerifyLoop(j)
 		}
 		return d
+	}
+	if d.retain {
+		d.epochs = make([]*conslist.Epoch, n)
+		for p := 0; p < n; p++ {
+			d.epochs[p] = conslist.NewEpoch(epochShards)
+		}
 	}
 	scanners := verifiers - 1
 	if scanners > n {
@@ -158,7 +199,12 @@ func (d *Decoupled) Apply(proc int, op spec.Operation) spec.Response {
 // scanLoop is a sharded scanner: it watches the owned processes' entries of
 // the result snapshot, extracts newly published tuples, applies the cheap
 // Remark 7.2 self-inclusion necessary condition, and forwards batches to the
-// dispatcher.
+// dispatcher. Under retention it publishes its consumption cursor on every
+// scan round (not only when it forwarded something — an idle process's
+// prefix must still become reclaimable); the dispatcher, as the single
+// reclaimer, truncates at the epoch floor. A single reclaimer matters: two
+// goroutines truncating one list would race on the next pointers the other
+// walks.
 func (d *Decoupled) scanLoop(owned []int) {
 	defer d.wg.Done()
 	defer d.scanWg.Done()
@@ -174,25 +220,27 @@ func (d *Decoupled) scanLoop(owned []int) {
 		idle := true
 		for _, p := range owned {
 			h := heads[p]
-			if h.Depth() <= sent[p] {
-				continue
-			}
-			tuples := h.AscendingSince(sent[p])
-			corrupt := ""
-			for k, t := range tuples {
-				// The i-th tuple of process p stems from p's (i+1)-th
-				// announcement, which its own view snapshot must contain.
-				if c := t.View.Counts(); len(c) != d.n || c[p] < sent[p]+k+1 {
-					corrupt = fmt.Sprintf("tuple %d of process %d lacks self-inclusion", sent[p]+k, p+1)
-					break
+			if h.Depth() > sent[p] {
+				tuples := h.AscendingSince(sent[p])
+				corrupt := ""
+				for k, t := range tuples {
+					// The i-th tuple of process p stems from p's (i+1)-th
+					// announcement, which its own view snapshot must contain.
+					if c := t.View.Counts(); len(c) != d.n || c[p] < sent[p]+k+1 {
+						corrupt = fmt.Sprintf("tuple %d of process %d lacks self-inclusion", sent[p]+k, p+1)
+						break
+					}
+				}
+				select {
+				case d.batches <- tupleBatch{proc: p, from: sent[p], tuples: tuples, corrupt: corrupt}:
+					sent[p] += len(tuples)
+					idle = false
+				case <-d.stop:
+					return
 				}
 			}
-			select {
-			case d.batches <- tupleBatch{proc: p, tuples: tuples, corrupt: corrupt}:
-				sent[p] += len(tuples)
-				idle = false
-			case <-d.stop:
-				return
+			if d.epochs != nil {
+				d.epochs[p].Advance(scannerShard, sent[p])
 			}
 		}
 		if idle {
@@ -201,23 +249,78 @@ func (d *Decoupled) scanLoop(owned []int) {
 	}
 }
 
+// releaseBatch is the minimum number of consumed nodes worth a truncation
+// walk.
+func (d *Decoupled) releaseBatch() int {
+	if d.policy.GCBatch > 0 {
+		return d.policy.GCBatch
+	}
+	return 64
+}
+
 // dispatch merges scanner batches into the incremental pipeline, decides,
-// and reports. With no scanners it polls the snapshot itself.
+// and reports. With no scanners it polls the snapshot itself (and, under
+// retention, reclaims the result lists itself — it is the only consumer).
 func (d *Decoupled) dispatch(scanners int) {
 	defer d.wg.Done()
-	iv := NewIncVerifier(d.n, d.obj)
+	var ivOpts []IncVerifierOption
+	if d.retain {
+		ivOpts = append(ivOpts, WithVerifierRetention(d.policy))
+	}
+	iv := NewIncVerifier(d.n, d.obj, ivOpts...)
 	reported := false
+	released := make([]int, d.n)
+
+	publishCursors := func() {
+		if d.epochs == nil {
+			return
+		}
+		for p := 0; p < d.n; p++ {
+			d.epochs[p].Advance(dispatcherShard, iv.ConsumedOf(p))
+		}
+	}
+
+	// The dispatcher is the single reclaimer of the result cons-lists: it
+	// truncates at the epoch floor — never past a scanner's published cursor
+	// — once a releaseBatch worth of nodes is reclaimable. The floor check is
+	// cheap (atomic loads); the snapshot scan happens only when a truncation
+	// will actually run.
+	maybeReclaim := func() {
+		if d.epochs == nil {
+			return
+		}
+		need := false
+		for p := 0; p < d.n; p++ {
+			if d.epochs[p].Floor()-released[p] >= d.releaseBatch() {
+				need = true
+				break
+			}
+		}
+		if !need {
+			return
+		}
+		heads := d.m.Scan(0)
+		d.scans.Add(1)
+		for p := 0; p < d.n; p++ {
+			if floor := d.epochs[p].Floor(); floor-released[p] >= d.releaseBatch() {
+				d.resReleased.Add(int64(heads[p].TruncateBefore(floor)))
+				released[p] = floor
+			}
+		}
+	}
 
 	absorb := func(first tupleBatch, ok bool) {
 		// Coalesce everything already queued into one ingest pass so the
-		// monitor runs once per burst, not once per process.
+		// monitor runs once per burst, not once per process. Batches are
+		// staged position-aware: a catch-up scan below may already have
+		// consumed the positions a queued batch covers.
 		var delta []Tuple
 		for {
 			if ok {
 				if first.corrupt != "" {
 					iv.MarkCorrupt(first.corrupt)
 				}
-				delta = append(delta, first.tuples...)
+				delta = append(delta, iv.stageBatch(first.proc, first.from, first.tuples)...)
 			}
 			select {
 			case first, ok = <-d.batches:
@@ -226,7 +329,17 @@ func (d *Decoupled) dispatch(scanners int) {
 			}
 			break
 		}
-		iv.IngestTuples(delta)
+		iv.ingest(delta)
+		if iv.Blocked() {
+			// Scanner batches from different processes are not a consistent
+			// cut: a view can announce an operation whose response tuple is
+			// still in another scanner's queue. One linearizable snapshot
+			// scan closes the gap (the tuple is provably published).
+			iv.IngestHeads(d.m.Scan(0))
+			d.scans.Add(1)
+		}
+		publishCursors()
+		maybeReclaim()
 	}
 
 	settle := func() {
@@ -252,6 +365,13 @@ func (d *Decoupled) dispatch(scanners int) {
 		// Final drain: everything published before Close gets verified.
 		iv.IngestHeads(d.m.Scan(0))
 		d.scans.Add(1)
+		if iv.Blocked() {
+			// Every published tuple has been drained, so a still-missing
+			// response tuple provably does not exist: the announce was not
+			// produced by a DRV producer (they publish before their next
+			// announce). Report it instead of dropping the evidence.
+			iv.MarkCorrupt("announced operation's response tuple was never published")
+		}
 		settle()
 	}
 
@@ -263,8 +383,20 @@ func (d *Decoupled) dispatch(scanners int) {
 				return
 			default:
 			}
-			changed := iv.IngestHeads(d.m.Scan(0))
+			heads := d.m.Scan(0)
+			changed := iv.IngestHeads(heads)
 			d.scans.Add(1)
+			if d.epochs != nil {
+				for p := 0; p < d.n; p++ {
+					c := iv.ConsumedOf(p)
+					d.epochs[p].Advance(scannerShard, c)
+					d.epochs[p].Advance(dispatcherShard, c)
+					if c-released[p] >= d.releaseBatch() {
+						d.resReleased.Add(int64(heads[p].TruncateBefore(c)))
+						released[p] = c
+					}
+				}
+			}
 			settle()
 			if !changed {
 				runtime.Gosched()
@@ -318,6 +450,7 @@ func (d *Decoupled) Stats() DecoupledStats {
 	st := d.stats
 	d.statsMu.Unlock()
 	st.Scans = d.scans.Load()
+	st.ResultNodesReleased = d.resReleased.Load()
 	return st
 }
 

@@ -21,15 +21,25 @@ import (
 // large as the current last view group, X grows by appending — the new
 // group's missing invocations, then the new responses. A tuple published
 // late (a slow producer whose view predates groups already emitted) breaks
-// the append order; the pipeline then falls back to a full BuildHistory over
-// every tuple seen and reloads the monitor, preserving exact equivalence
-// with the non-incremental path.
+// the append order; the pipeline then falls back to a BuildHistory over
+// every tuple emitted so far and reloads the monitor, preserving exact
+// equivalence with the non-incremental path. The converse skew — a view
+// arriving ahead of the response tuples it implies, which happens when
+// scanner batches from different processes interleave — is tuple lag, not
+// corruption, and is deferred until the missing tuples arrive (see blocked).
 //
 // Verdicts come from check.Incremental when the object is linearizability of
 // a sequential model (the common case), and from the object's own membership
 // test on the reassembled history otherwise (one-shot tasks). Violations are
 // sticky: GenLin objects are prefix-closed, so once the published history
 // falls outside the object every extension does too.
+//
+// With WithVerifierRetention the pipeline bounds its own memory in lockstep
+// with the monitor's garbage collector: tuples whose assembled events fell
+// behind the GC horizon are dropped from the rebuild buffer, the announce
+// cons-lists are truncated at the consumed floor, and a late publication is
+// re-assembled from the retained window against the monitor's GC base
+// instead of from the whole history.
 //
 // IncVerifier is not safe for concurrent use; the decoupled dispatcher owns
 // one instance.
@@ -43,9 +53,23 @@ type IncVerifier struct {
 	consumed   []int   // per-process count of tuples already ingested
 	annPrev    []int   // announcements already emitted as invocations
 	lastCounts []int   // view counts of the current last group; nil before the first tuple
-	all        []Tuple // every distinct tuple seen, for rebuilds
+	all        []Tuple // distinct tuples retained for rebuilds, in return-event order
 	seen       map[uint64]struct{}
 	pendingOp  map[int]uint64 // proc -> open invocation, for §2 well-formedness
+
+	// deferred holds tuples whose view groups cannot be emitted yet: a group
+	// announcing a process's next invocation while that process's previous
+	// response tuple has not arrived is evidence of tuple lag (scanner
+	// batches from different processes are not a consistent cut), not of a
+	// violation. They are retried, ahead of new arrivals, on the next ingest.
+	deferred []Tuple
+
+	retain       bool
+	retainPolicy check.RetentionPolicy
+	evMeta       []int32               // per assembled event: proc for an invocation, -1 for a response
+	evHead       int                   // consumed prefix of evMeta (events the monitor GC'd)
+	baseAnn      []int                 // per-process announce floor: invocations behind the GC horizon
+	annHeads     []*conslist.Node[Ann] // heads of the largest view seen, for announce truncation
 
 	verdict check.Verdict
 	err     error
@@ -55,15 +79,36 @@ type IncVerifier struct {
 // IncVerifyStats counts the pipeline's work; cmd/stress prints them and
 // EXPERIMENTS.md records them.
 type IncVerifyStats struct {
-	Passes   int // ingest calls that saw at least one new tuple
-	Tuples   int // distinct tuples ingested
-	Groups   int // view groups appended incrementally
-	Rebuilds int // full X(τ) reconstructions (out-of-order publications)
-	Check    check.IncStats
+	Passes    int // ingest calls that saw at least one new tuple
+	Tuples    int // distinct tuples ingested
+	Groups    int // view groups appended incrementally
+	Rebuilds  int // X(τ) reconstructions (out-of-order publications)
+	Deferrals int // ingest passes paused on a not-yet-published response tuple
+
+	DiscardedTuples  int   // tuples released behind the GC horizon
+	RetainedTuples   int   // tuples currently held for rebuilds (gauge)
+	AnnNodesReleased int64 // announce-list nodes unlinked by retention
+
+	Check check.IncStats
+}
+
+// IncVerifierOption configures an IncVerifier.
+type IncVerifierOption func(*IncVerifier)
+
+// WithVerifierRetention opts the pipeline in to bounded-memory monitoring:
+// the inner monitor runs under check.WithRetention(p) and the assembler
+// releases tuples and announce-list prefixes behind the monitor's GC horizon.
+// It requires an object that is linearizability of a sequential model (the
+// generic membership path needs the full history by definition); the option
+// is ignored otherwise. The caller must guarantee that nothing else traverses
+// the announce cons-lists below the consumed floor — true for the decoupled
+// pipeline, whose scanners read only view counts.
+func WithVerifierRetention(p check.RetentionPolicy) IncVerifierOption {
+	return func(iv *IncVerifier) { iv.retain = true; iv.retainPolicy = p }
 }
 
 // NewIncVerifier builds the pipeline for n processes monitoring obj.
-func NewIncVerifier(n int, obj genlin.Object) *IncVerifier {
+func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVerifier {
 	iv := &IncVerifier{
 		n:         n,
 		obj:       obj,
@@ -73,15 +118,29 @@ func NewIncVerifier(n int, obj genlin.Object) *IncVerifier {
 		pendingOp: make(map[int]uint64),
 		verdict:   check.Yes,
 	}
-	if m := genlin.Model(obj); m != nil {
-		iv.inc = check.NewIncremental(m)
+	for _, opt := range opts {
+		opt(iv)
+	}
+	m := genlin.Model(obj)
+	if m == nil {
+		iv.retain = false
+	}
+	if m != nil {
+		if iv.retain {
+			iv.inc = check.NewIncremental(m, check.WithRetention(iv.retainPolicy))
+			iv.baseAnn = make([]int, n)
+		} else {
+			iv.inc = check.NewIncremental(m)
+		}
 	}
 	return iv
 }
 
 // IngestHeads consumes a fresh scan of the result snapshot, ingesting only
-// tuples published since the previous call. It reports whether anything new
-// was processed.
+// tuples published since the previous call. Because the scan is a
+// linearizable snapshot, the delta is a consistent cut: a view announcing an
+// operation always travels with (or behind) the response tuples it implies.
+// It reports whether anything new was processed.
 func (iv *IncVerifier) IngestHeads(heads []*conslist.Node[Tuple]) bool {
 	var delta []Tuple
 	for p, h := range heads {
@@ -90,9 +149,10 @@ func (iv *IncVerifier) IngestHeads(heads []*conslist.Node[Tuple]) bool {
 		}
 		if h.Depth() > iv.consumed[p] {
 			delta = append(delta, h.AscendingSince(iv.consumed[p])...)
+			iv.consumed[p] = h.Depth()
 		}
 	}
-	return iv.IngestTuples(delta)
+	return iv.ingest(delta)
 }
 
 // IngestTuples ingests a batch of newly published tuples (from one or more
@@ -103,16 +163,65 @@ func (iv *IncVerifier) IngestHeads(heads []*conslist.Node[Tuple]) bool {
 // identity below; that consumes the position without re-checking the op.)
 // It reports whether anything new was processed.
 func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
-	fresh := delta[:0:len(delta)]
 	for _, t := range delta {
 		if t.Proc >= 0 && t.Proc < iv.n {
 			iv.consumed[t.Proc]++
 		}
+	}
+	return iv.ingest(delta)
+}
+
+// stageBatch aligns the cursor for a scanner batch covering positions
+// [from, from+len) of proc's result list and returns the positions not yet
+// consumed. The dispatcher needs this because its catch-up scans can ingest
+// positions that a scanner had already extracted and queued: counting those
+// batches again would push the cursor past reality and skip tuples forever.
+func (iv *IncVerifier) stageBatch(proc, from int, tuples []Tuple) []Tuple {
+	if proc < 0 || proc >= iv.n {
+		return tuples // malformed; the view arity check reports it
+	}
+	if skip := iv.consumed[proc] - from; skip > 0 {
+		if skip >= len(tuples) {
+			return nil
+		}
+		tuples = tuples[skip:]
+	}
+	iv.consumed[proc] += len(tuples)
+	return tuples
+}
+
+// blocked reports whether starting a group with the given view counts would
+// invoke an operation whose process still has an unreturned predecessor.
+// That response tuple provably exists (a DRV producer publishes its tuple
+// before its next announce, so any view containing announce N+1 was
+// snapshotted after tuple N was published) but has not reached this verifier
+// yet — the batch must wait for it, not be reported.
+func (iv *IncVerifier) blocked(counts []int) bool {
+	for p := 0; p < iv.n; p++ {
+		if counts[p] > iv.annPrev[p] {
+			if _, busy := iv.pendingOp[p]; busy || counts[p]-iv.annPrev[p] > 1 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Blocked reports whether ingestion is paused on a response tuple that has
+// not been delivered yet; a snapshot-consistent IngestHeads resolves it.
+func (iv *IncVerifier) Blocked() bool { return len(iv.deferred) > 0 }
+
+// ingest runs the assembly pipeline over cursor-aligned tuples.
+func (iv *IncVerifier) ingest(delta []Tuple) bool {
+	if iv.violated() {
+		return len(delta) > 0 // sticky: consume the positions, keep nothing
+	}
+	fresh := delta[:0:len(delta)]
+	for _, t := range delta {
 		if _, dup := iv.seen[t.Op.Uniq]; dup {
 			continue
 		}
 		iv.seen[t.Op.Uniq] = struct{}{}
-		iv.all = append(iv.all, t)
 		fresh = append(fresh, t)
 	}
 	if len(fresh) == 0 {
@@ -120,16 +229,21 @@ func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
 	}
 	iv.stats.Passes++
 	iv.stats.Tuples += len(fresh)
-	if iv.violated() {
-		return true // sticky: retain the tuples, skip all checking
+	if len(iv.deferred) > 0 {
+		fresh = append(iv.deferred, fresh...)
+		iv.deferred = nil
 	}
 
 	// Views must be appended in containment order; within one batch, order by
-	// view size (total order among comparable views).
+	// view size (total order among comparable views). The rebuild buffer is
+	// appended per emitted response, in the same order, so it stays aligned
+	// with the response events of the assembled history — which is what lets
+	// retention drop tuples in lockstep with the monitor's GC of the event
+	// prefix.
 	sortTuplesByViewSize(fresh)
 
 	var events history.History
-	for _, t := range fresh {
+	for i, t := range fresh {
 		counts := t.View.Counts()
 		if len(counts) != iv.n {
 			iv.fail(fmt.Errorf("view arity %d, want %d", len(counts), iv.n), events)
@@ -138,6 +252,15 @@ func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
 		switch {
 		case iv.lastCounts == nil || leqCounts(iv.lastCounts, counts):
 			if iv.lastCounts == nil || !eqCounts(iv.lastCounts, counts) {
+				if iv.blocked(counts) {
+					// Tuple lag, not corruption: park the rest of the batch
+					// (the missing response sorts before these views once it
+					// arrives) and judge what was assembled so far.
+					iv.deferred = append(iv.deferred, fresh[i:]...)
+					iv.stats.Deferrals++
+					iv.judge(events)
+					return true
+				}
 				// A strictly larger view starts a new group: emit the
 				// invocations of its new announcements first.
 				for p := 0; p < iv.n; p++ {
@@ -152,6 +275,7 @@ func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
 					iv.annPrev[p] = counts[p]
 				}
 				iv.lastCounts = append(iv.lastCounts[:0], counts...)
+				iv.annHeads = t.View.heads
 				iv.stats.Groups++
 			}
 			ev := history.Event{Kind: history.Return, Proc: t.Proc, ID: t.Op.Uniq, Op: t.Op, Res: t.Res}
@@ -160,12 +284,20 @@ func (iv *IncVerifier) IngestTuples(delta []Tuple) bool {
 				return true
 			}
 			events = append(events, ev)
+			iv.all = append(iv.all, t)
 		default:
 			// Late or incomparable view: the append order is broken, fall
-			// back to a full reconstruction over everything seen (remaining
-			// tuples of this batch included — they are already in iv.all).
+			// back to a reconstruction over everything emitted plus this
+			// tuple. Events assembled earlier in this batch are covered by
+			// the reconstruction (their tuples are in iv.all), so they are
+			// dropped rather than double-ingested; the rest of the batch
+			// continues through the recomputed trackers.
+			iv.all = append(iv.all, t)
+			events = events[:0]
 			iv.rebuild()
-			return true
+			if iv.violated() {
+				return true
+			}
 		}
 	}
 	iv.judge(events)
@@ -196,8 +328,18 @@ func (iv *IncVerifier) admit(e history.Event) error {
 // judge hands the freshly assembled events to the monitor.
 func (iv *IncVerifier) judge(events history.History) {
 	if iv.inc != nil {
+		if iv.retain {
+			for _, e := range events {
+				if e.Kind == history.Invoke {
+					iv.evMeta = append(iv.evMeta, int32(e.Proc))
+				} else {
+					iv.evMeta = append(iv.evMeta, -1)
+				}
+			}
+		}
 		iv.verdict = iv.inc.Append(events)
 		iv.err = iv.inc.Err()
+		iv.syncGC()
 		iv.stats.Check = iv.inc.Stats()
 		return
 	}
@@ -205,6 +347,43 @@ func (iv *IncVerifier) judge(events history.History) {
 	if !iv.obj.Contains(iv.hFull) {
 		iv.verdict = check.No
 	}
+}
+
+// syncGC releases assembler state behind the monitor's GC horizon: tuples
+// whose response events were collected leave the rebuild buffer (and the
+// dedup set), per-process announce floors advance past collected
+// invocations, and the announce cons-lists are truncated at the floor. Only
+// meaningful under retention; a no-op otherwise.
+func (iv *IncVerifier) syncGC() {
+	if !iv.retain || iv.violated() {
+		return
+	}
+	d := iv.inc.Discarded()
+	dropped := 0
+	for iv.evHead < d {
+		m := iv.evMeta[0]
+		iv.evMeta = iv.evMeta[1:]
+		iv.evHead++
+		if m >= 0 {
+			iv.baseAnn[m]++
+		} else {
+			// The rebuild buffer is aligned with response-event order, so
+			// the collected response is exactly the oldest retained tuple.
+			t := iv.all[0]
+			iv.all = iv.all[1:]
+			delete(iv.seen, t.Op.Uniq)
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		iv.stats.DiscardedTuples += dropped
+		if iv.annHeads != nil {
+			for p := 0; p < iv.n && p < len(iv.annHeads); p++ {
+				iv.stats.AnnNodesReleased += int64(iv.annHeads[p].TruncateBefore(iv.baseAnn[p]))
+			}
+		}
+	}
+	iv.stats.RetainedTuples = len(iv.all)
 }
 
 // fail records a views/well-formedness corruption: sticky violation.
@@ -220,12 +399,24 @@ func (iv *IncVerifier) fail(err error, events history.History) {
 	iv.verdict = check.No
 }
 
-// rebuild reconstructs X(τ) from every tuple seen — the slow path taken when
-// a late publication breaks the incremental append order — and reloads the
-// monitor, restoring exact equivalence with the non-incremental verifier.
+// rebuild reconstructs X(τ) from the retained tuples — the slow path taken
+// when a late publication breaks the incremental append order — and reloads
+// the monitor, restoring exact equivalence with the non-incremental verifier.
+// Under retention the reconstruction covers only the window since the GC
+// horizon, re-anchored at the monitor's GC base via ReloadWindow: a correct
+// DRV producer cannot publish a tuple whose events precede the horizon (its
+// invocation would have been pending, blocking the quiescent cut), so the
+// windowed rebuild is exact for comparable-view streams; a corrupted stream
+// whose evidence predates the horizon surfaces as a ViewsError instead.
 func (iv *IncVerifier) rebuild() {
 	iv.stats.Rebuilds++
-	h, err := BuildHistory(iv.all, iv.n)
+	var h history.History
+	var err error
+	if iv.retain {
+		h, err = buildHistorySince(iv.all, iv.n, iv.baseAnn)
+	} else {
+		h, err = BuildHistory(iv.all, iv.n)
+	}
 	if err != nil {
 		iv.err = err
 		iv.verdict = check.No
@@ -240,6 +431,7 @@ func (iv *IncVerifier) rebuild() {
 		c := t.View.Counts()
 		if iv.lastCounts == nil || leqCounts(iv.lastCounts, c) {
 			iv.lastCounts = append(iv.lastCounts[:0], c...)
+			iv.annHeads = t.View.heads
 		}
 	}
 	copy(iv.annPrev, iv.lastCounts)
@@ -250,8 +442,25 @@ func (iv *IncVerifier) rebuild() {
 		}
 	}
 	if iv.inc != nil {
-		iv.verdict = iv.inc.Reset(h)
-		iv.err = iv.inc.Err()
+		if iv.retain {
+			// Re-anchor at the GC base and realign the retained buffers with
+			// the canonical event order of the reconstruction.
+			sortTuplesCanonical(iv.all)
+			iv.evMeta = iv.evMeta[:0]
+			for _, e := range h {
+				if e.Kind == history.Invoke {
+					iv.evMeta = append(iv.evMeta, int32(e.Proc))
+				} else {
+					iv.evMeta = append(iv.evMeta, -1)
+				}
+			}
+			iv.verdict = iv.inc.ReloadWindow(h)
+			iv.err = iv.inc.Err()
+			iv.syncGC()
+		} else {
+			iv.verdict = iv.inc.Reset(h)
+			iv.err = iv.inc.Err()
+		}
 		iv.stats.Check = iv.inc.Stats()
 		return
 	}
@@ -276,6 +485,12 @@ func (iv *IncVerifier) MarkCorrupt(reason string) {
 
 // violated reports whether the pipeline has a sticky violation.
 func (iv *IncVerifier) violated() bool { return iv.verdict == check.No || iv.err != nil }
+
+// ConsumedOf returns how many of process p's published tuples have been
+// ingested: the result-list depth below which this verifier never reads
+// again. The decoupled dispatcher publishes it as its epoch cursor so
+// scanners can release consumed cons-list prefixes.
+func (iv *IncVerifier) ConsumedOf(p int) int { return iv.consumed[p] }
 
 // Verdict returns the verdict for everything ingested so far.
 func (iv *IncVerifier) Verdict() check.Verdict { return iv.verdict }

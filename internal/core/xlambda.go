@@ -52,6 +52,18 @@ func ValidateViews(tuples []Tuple) error {
 // Tuples are deduplicated by operation identity (op.Uniq): the verifier's
 // union of per-process result sets naturally contains copies.
 func BuildHistory(tuples []Tuple, n int) (history.History, error) {
+	return buildHistorySince(tuples, n, nil)
+}
+
+// buildHistorySince is BuildHistory generalised with a retention horizon:
+// invocations at or below the per-process announce floor base are assumed
+// already emitted (and possibly garbage-collected, so the announce lists may
+// be truncated below base and must not be walked there). A tuple whose view
+// drops below the floor cannot be integrated — its response event would
+// belong to the collected prefix, which a correct DRV producer cannot
+// produce once the prefix reached quiescence — and is reported as a
+// ViewsError. A nil base is the zero horizon: the full X(τ) construction.
+func buildHistorySince(tuples []Tuple, n int, base []int) (history.History, error) {
 	// Deduplicate.
 	seen := make(map[uint64]bool, len(tuples))
 	uniq := make([]Tuple, 0, len(tuples))
@@ -101,16 +113,22 @@ func BuildHistory(tuples []Tuple, n int) (history.History, error) {
 	// Emit the history.
 	var h history.History
 	prev := make([]int, n)
+	copy(prev, base)
 	for _, g := range ordered {
 		counts := g.view.Counts()
 		if len(counts) != n {
 			return nil, &ViewsError{Reason: "view arity mismatch"}
 		}
+		for p := 0; p < len(base); p++ {
+			if counts[p] < base[p] {
+				return nil, &ViewsError{Reason: "publication predates the retention horizon"}
+			}
+		}
 		for p := 0; p < n; p++ {
 			for _, ann := range g.view.annsSince(p, prev[p]) {
 				h = append(h, history.Event{Kind: history.Invoke, Proc: ann.Proc, ID: ann.Op.Uniq, Op: ann.Op})
 			}
-			prev[p] = counts[p]
+			prev[p] = counts[p] // monotone: the containment-ordering check above
 		}
 		resps := make([]Tuple, len(g.tuples))
 		copy(resps, g.tuples)
@@ -128,6 +146,23 @@ func BuildHistory(tuples []Tuple, n int) (history.History, error) {
 		return nil, &ViewsError{Reason: "reconstructed history ill-formed: " + err.Error()}
 	}
 	return h, nil
+}
+
+// sortTuplesCanonical orders tuples exactly as their response events appear
+// in BuildHistory's output: groups ascending by view size, then by (process,
+// operation id) within a group. Retention uses it to realign the rebuild
+// buffer with the reconstructed event order.
+func sortTuplesCanonical(ts []Tuple) {
+	sort.SliceStable(ts, func(i, j int) bool {
+		si, sj := ts[i].View.Size(), ts[j].View.Size()
+		if si != sj {
+			return si < sj
+		}
+		if ts[i].Proc != ts[j].Proc {
+			return ts[i].Proc < ts[j].Proc
+		}
+		return ts[i].Op.Uniq < ts[j].Op.Uniq
+	})
 }
 
 // TuplesOf extracts the 4-tuples (p, op, y, λ) of the completed operations of

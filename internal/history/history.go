@@ -13,6 +13,7 @@ package history
 import (
 	"fmt"
 	"strings"
+	"unsafe"
 
 	"repro/internal/spec"
 )
@@ -40,6 +41,10 @@ type Event struct {
 
 // History is a finite sequence of events, ordered by real time.
 type History []Event
+
+// EventBytes is the in-memory size of one Event, for retained-bytes
+// accounting in bounded-memory monitors.
+var EventBytes = int64(unsafe.Sizeof(Event{}))
 
 // Op is one operation of a history, with the positions of its events.
 // RetIdx is -1 for a pending operation.

@@ -1,0 +1,89 @@
+// Package soak is the shared body of the B9 bounded-memory acceptance
+// check, used by both the TestSoakRetentionB9 tier-1 test and the
+// cmd/perfgate CI gate so the stream shape, the oracle comparison and the
+// window bound cannot drift apart.
+package soak
+
+import (
+	"repro/internal/check"
+	"repro/internal/core"
+	"repro/internal/genlin"
+	"repro/internal/impls"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// Result carries the B9 acceptance numbers.
+type Result struct {
+	Events      int  // events in the monitored stream
+	MaxRetained int  // retained-events high-water mark across the stream
+	Bound       int  // window bound MaxRetained must stay under
+	Discarded   int  // events GC'd by the retained monitor
+	Retained    int  // events still held at the end
+	DivergedAt  int  // publication index of the first verdict divergence; -1 if none
+	Yes         bool // final verdict of the retained monitor
+}
+
+// Ok reports whether the soak met the B9 acceptance criteria: a window
+// bounded by the policy, verdicts identical to the unbounded oracle, and a
+// clean final verdict on the correct stream.
+func (r Result) Ok() bool {
+	return r.Yes && r.DivergedAt < 0 && r.MaxRetained <= r.Bound
+}
+
+// WindowBound is the retained-window bound the B9 gate enforces: a GC batch
+// plus generous room for the in-flight segment and the events that
+// accumulate between two quiescent cuts — far below any long stream's
+// length.
+func WindowBound(p check.RetentionPolicy) int {
+	gb := p.GCBatch
+	if gb <= 0 {
+		gb = 64 // check.RetentionPolicy's default
+	}
+	return 4*gb + 256
+}
+
+// Run streams ops published operations (procs producers, round-robin
+// through A*) through two pipelines — retained under policy, unbounded as
+// the oracle — comparing verdicts at every publication. The two pipelines
+// get separate but deterministic-identical streams: retention truncates the
+// announce lists it consumes and must not share them with the oracle.
+func Run(m spec.Model, procs, ops int, policy check.RetentionPolicy) Result {
+	obj := genlin.Linearizability(m)
+	retTuples := Publish(m, procs, ops)
+	unbTuples := Publish(m, procs, ops)
+	retained := core.NewIncVerifier(procs, obj, core.WithVerifierRetention(policy))
+	unbounded := core.NewIncVerifier(procs, obj)
+	res := Result{Events: 2 * ops, Bound: WindowBound(policy), DivergedAt: -1}
+	for k := 0; k < ops; k++ {
+		retained.IngestTuples(retTuples[k : k+1])
+		unbounded.IngestTuples(unbTuples[k : k+1])
+		if res.DivergedAt < 0 && retained.Verdict() != unbounded.Verdict() {
+			res.DivergedAt = k
+		}
+		if r := retained.Stats().Check.RetainedEvents; r > res.MaxRetained {
+			res.MaxRetained = r
+		}
+	}
+	res.Discarded = retained.Stats().Check.DiscardedEvents
+	res.Retained = retained.Stats().Check.RetainedEvents
+	res.Yes = retained.Verdict() == check.Yes
+	return res
+}
+
+// Publish generates the sketch of an ops-operation run over procs
+// producers, applied round-robin through A* — the stream shape behind the
+// B8 and B9 measurements.
+func Publish(m spec.Model, procs, ops int) []core.Tuple {
+	drv := core.NewDRV(impls.ForModel(m), procs)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen(m.Name(), 17, &uniq)
+	tuples := make([]core.Tuple, 0, ops)
+	for i := 0; i < ops; i++ {
+		p := i % procs
+		op := gen.Next()
+		y, view := drv.Apply(p, op)
+		tuples = append(tuples, core.Tuple{Proc: p, Op: op, Res: y, View: view})
+	}
+	return tuples
+}

@@ -125,9 +125,24 @@ func NewVerifier(drv *DRV, obj Object) *Verifier { return core.NewVerifier(drv, 
 // run the incremental sharded pipeline of DESIGN.md §2 (delta checking with
 // deduplicated reports — one per violation); onReport is called from
 // verifier goroutines. Close it when done: it first drains and verifies
-// everything published.
-func NewDecoupled(inner Implementation, n, verifiers int, m Model, onReport func(Report)) *Decoupled {
-	return core.NewDecoupled(inner, n, verifiers, genlin.Linearizability(m), onReport)
+// everything published. Options: WithRetention bounds the pipeline's memory
+// to the monitoring window (DESIGN.md §2b).
+func NewDecoupled(inner Implementation, n, verifiers int, m Model, onReport func(Report), opts ...DecoupledOption) *Decoupled {
+	return core.NewDecoupled(inner, n, verifiers, genlin.Linearizability(m), onReport, opts...)
+}
+
+// DecoupledOption configures NewDecoupled.
+type DecoupledOption = core.DecoupledOption
+
+// RetentionPolicy bounds a monitor's memory; zero values take defaults. See
+// check.RetentionPolicy for the trade-offs.
+type RetentionPolicy = check.RetentionPolicy
+
+// WithRetention makes the decoupled verification pipeline garbage-collect
+// committed history behind its quiescent-cut frontier, keeping memory
+// O(window) instead of O(history) with verdicts unchanged (DESIGN.md §2b).
+func WithRetention(p RetentionPolicy) DecoupledOption {
+	return core.WithDecoupledRetention(p)
 }
 
 // Reference implementations of the paper's objects, usable as the black box

@@ -83,6 +83,22 @@ func TestFacadeDecoupled(t *testing.T) {
 	d.Close()
 }
 
+func TestFacadeDecoupledRetention(t *testing.T) {
+	reports := 0
+	d := NewDecoupled(NewAtomicCounter(), 2, 2, Counter(),
+		func(Report) { reports++ }, WithRetention(RetentionPolicy{GCBatch: 1}))
+	for i := uint64(1); i <= 200; i++ {
+		d.Apply(0, Operation{Method: "Inc", Uniq: i})
+	}
+	d.Close()
+	if reports != 0 {
+		t.Fatalf("false reports under retention: %d", reports)
+	}
+	if st := d.Stats(); st.Verify.Check.DiscardedEvents == 0 {
+		t.Fatalf("retention idle: %+v", st)
+	}
+}
+
 func TestFacadeFaultDetection(t *testing.T) {
 	buggy := impls.NewFaulty(impls.NewMSQueue(), impls.PhantomValue, 2, 1)
 	q := SelfEnforce(buggy, 1, Queue())
