@@ -243,6 +243,7 @@ func BenchmarkChecker(b *testing.B) {
 	for _, size := range sizes {
 		h := trace.RandomLinearizable(spec.Queue(), 7, 3, size)
 		b.Run(fmt.Sprintf("wg/queue/ops=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if !check.IsLinearizable(spec.Queue(), h) {
 					b.Fatal("generated history must be linearizable")
@@ -251,6 +252,7 @@ func BenchmarkChecker(b *testing.B) {
 		})
 		mon := check.ForModel(spec.Queue())
 		b.Run(fmt.Sprintf("hybrid/queue/ops=%d", size), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if mon.Check(h) != check.Yes {
 					b.Fatal("generated history must be linearizable")
@@ -260,11 +262,13 @@ func BenchmarkChecker(b *testing.B) {
 	}
 	hc := trace.RandomLinearizable(spec.Counter(), 9, 3, 256)
 	b.Run("wg/counter/ops=256", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			check.IsLinearizable(spec.Counter(), hc)
 		}
 	})
 	b.Run("hybrid/counter/ops=256", func(b *testing.B) {
+		b.ReportAllocs()
 		mon := check.ForModel(spec.Counter())
 		for i := 0; i < b.N; i++ {
 			if mon.Check(hc) != check.Yes {
@@ -281,6 +285,7 @@ func BenchmarkChecker(b *testing.B) {
 	bad = append(bad, history.Event{Kind: history.Return, Proc: 0, ID: 9999,
 		Op: spec.Operation{Method: spec.MethodDeq, Uniq: 9999}, Res: spec.ValueResp(777777)})
 	b.Run("wg/queue-violation/ops=128", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if check.IsLinearizable(spec.Queue(), bad) {
 				b.Fatal("violation accepted")
@@ -288,6 +293,7 @@ func BenchmarkChecker(b *testing.B) {
 		}
 	})
 	b.Run("hybrid/queue-violation/ops=128", func(b *testing.B) {
+		b.ReportAllocs()
 		mon := check.ForModel(spec.Queue())
 		for i := 0; i < b.N; i++ {
 			if mon.Check(bad) != check.No {
@@ -295,6 +301,31 @@ func BenchmarkChecker(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// B10: checker allocation pressure — the zero-allocation search core
+// ---------------------------------------------------------------------------
+
+// BenchmarkCheckerAllocs is the B10 family: the complete Wing–Gong search on
+// dense (high-concurrency) queue and stack workloads, with allocs/op as the
+// headline number. The interned-memo search (internal/stateset) plus the
+// persistent window states (internal/spec seqstate.go) replace the
+// string-keyed memo and copy-per-step states; cmd/perfgate gates allocs/op
+// on exactly this workload so the steady-state path cannot silently regrow
+// per-node allocation. EXPERIMENTS.md records pre/post numbers.
+func BenchmarkCheckerAllocs(b *testing.B) {
+	for _, w := range soak.B10Workloads() {
+		h := w.B10History()
+		b.Run(fmt.Sprintf("%s/ops=%d", w.Model.Name(), w.Ops), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if !check.IsLinearizable(w.Model, h) {
+					b.Fatal("generated history must be linearizable")
+				}
+			}
+		})
+	}
 }
 
 func BenchmarkXOfTau(b *testing.B) {

@@ -15,10 +15,21 @@
 //     if memory scales with history length again — or if the retained
 //     verdict diverges from the unbounded monitor's.
 //
+//   - B10 allocation gate: the complete checker on the dense queue and stack
+//     workloads of BenchmarkCheckerAllocs, measured in-process with
+//     testing.Benchmark. CI fails if allocs/op exceeds -maxallocs — that is,
+//     if the interned-memo search core (internal/stateset + the persistent
+//     window states of internal/spec) regrows per-node allocation. The
+//     pre-PR string-memo checker sat at 805–1222 allocs/op on these
+//     workloads; the gate (default 400) is ~2.5x the interned checker's
+//     measured 60–160, so only a real regression trips it.
+//
 // Usage:
 //
-//	perfgate                    # both gates, JSON to BENCH_perf_smoke.json
+//	perfgate                    # all gates, JSON to BENCH_perf_smoke.json
 //	perfgate -ops 1024 -soakops 20000 -out path.json
+//	perfgate -baseline -out BENCH_PR3.json   # refresh the committed trajectory
+//	                                         # record (reference host only)
 package main
 
 import (
@@ -26,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"testing"
 	"time"
 
 	"repro/internal/check"
@@ -35,18 +47,41 @@ import (
 	"repro/internal/spec"
 )
 
+// b10Workload is one dense-workload measurement of the B10 allocation gate.
+type b10Workload struct {
+	Model     string  `json:"model"`
+	Ops       int     `json:"ops"`
+	NsPerOp   int64   `json:"ns_per_op"`
+	AllocsOp  int64   `json:"allocs_per_op"`
+	BytesOp   int64   `json:"bytes_per_op"`
+	MaxAllocs int64   `json:"max_allocs_gate"`
+	SpeedupX  float64 `json:"speedup_vs_pre_pr,omitempty"` // only with -baseline; see b10PrePRNs
+}
+
 type result struct {
-	Ops            int     `json:"ops"`
-	FullNs         int64   `json:"full_recheck_ns"`
-	IncNs          int64   `json:"incremental_ns"`
-	Ratio          float64 `json:"ratio"`
-	MinRatio       float64 `json:"min_ratio"`
-	SoakOps        int     `json:"soak_ops"`
-	SoakRetainedHW int     `json:"soak_retained_events_max"`
-	SoakBound      int     `json:"soak_retained_events_bound"`
-	SoakDiscarded  int     `json:"soak_discarded_events"`
-	SoakNs         int64   `json:"soak_ns"`
-	Pass           bool    `json:"pass"`
+	Ops            int           `json:"ops"`
+	FullNs         int64         `json:"full_recheck_ns"`
+	IncNs          int64         `json:"incremental_ns"`
+	Ratio          float64       `json:"ratio"`
+	MinRatio       float64       `json:"min_ratio"`
+	SoakOps        int           `json:"soak_ops"`
+	SoakRetainedHW int           `json:"soak_retained_events_max"`
+	SoakBound      int           `json:"soak_retained_events_bound"`
+	SoakDiscarded  int           `json:"soak_discarded_events"`
+	SoakNs         int64         `json:"soak_ns"`
+	B10            []b10Workload `json:"b10_checker_allocs"`
+	Pass           bool          `json:"pass"`
+}
+
+// b10PrePRNs records the pre-PR (string-memo, copy-per-step) checker's ns/op
+// on the B10 workloads, measured on the reference host (the one named in
+// EXPERIMENTS.md) before the interning refactor landed. The speedup column
+// they feed is only emitted under -baseline — comparing another machine's
+// ns/op against this host's baseline would be a meaningless ratio, so CI
+// artifacts omit it; the committed BENCH_PR3.json, generated on the
+// reference host, carries it.
+var b10PrePRNs = map[string]int64{
+	"queue/64": 57180, "queue/256": 94206, "stack/64": 60376, "stack/256": 95658,
 }
 
 func main() {
@@ -57,6 +92,8 @@ func run() int {
 	ops := flag.Int("ops", 1024, "published operations for the B8 ratio gate")
 	soakOps := flag.Int("soakops", 20000, "published operations for the B9 soak gate")
 	minRatio := flag.Float64("minratio", 100, "minimum incremental-vs-fullrecheck speedup")
+	maxAllocs := flag.Int64("maxallocs", 400, "maximum allocs/op for the B10 checker gate")
+	baseline := flag.Bool("baseline", false, "emit B10 speedup vs the recorded pre-PR baseline (reference host only)")
 	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
 	flag.Parse()
 
@@ -123,6 +160,52 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "FAIL: retained window %d events exceeds the %d bound — memory is O(history) again\n",
 			sr.MaxRetained, sr.Bound)
 		ok = false
+	}
+
+	// --- B10 allocation gate -----------------------------------------------
+	// The exact workloads of BenchmarkCheckerAllocs (shared via
+	// internal/soak, so benchmark and gate cannot drift apart), run
+	// in-process via testing.Benchmark so CI needs no bench parsing.
+	for _, w := range soak.B10Workloads() {
+		h := w.B10History()
+		if !check.IsLinearizable(w.Model, h) {
+			// Checked before benchmarking: a b.Fatal inside testing.Benchmark
+			// yields the zero BenchmarkResult, whose 0 allocs/op would sail
+			// under the gate.
+			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d: checker refuted a linearizable history\n",
+				w.Model.Name(), w.Ops)
+			return 1
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				check.IsLinearizable(w.Model, h)
+			}
+		})
+		if br.N == 0 || br.AllocsPerOp() == 0 {
+			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d produced no measurement (N=%d)\n",
+				w.Model.Name(), w.Ops, br.N)
+			return 1
+		}
+		bw := b10Workload{
+			Model:     w.Model.Name(),
+			Ops:       w.Ops,
+			NsPerOp:   br.NsPerOp(),
+			AllocsOp:  br.AllocsPerOp(),
+			BytesOp:   br.AllocedBytesPerOp(),
+			MaxAllocs: *maxAllocs,
+		}
+		if pre := b10PrePRNs[fmt.Sprintf("%s/%d", bw.Model, bw.Ops)]; *baseline && pre > 0 && bw.NsPerOp > 0 {
+			bw.SpeedupX = float64(pre) / float64(bw.NsPerOp)
+		}
+		res.B10 = append(res.B10, bw)
+		fmt.Printf("B10 gate: %s/ops=%d %d ns/op %d allocs/op %d B/op (max %d allocs/op)\n",
+			bw.Model, bw.Ops, bw.NsPerOp, bw.AllocsOp, bw.BytesOp, *maxAllocs)
+		if bw.AllocsOp > *maxAllocs {
+			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d allocates %d/op, above the %d gate — the search core regressed\n",
+				bw.Model, bw.Ops, bw.AllocsOp, *maxAllocs)
+			ok = false
+		}
 	}
 
 	res.Pass = ok

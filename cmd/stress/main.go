@@ -10,6 +10,7 @@
 //	stress -model counter -decoupled -verifiers 3 -ops 2000
 //	stress -model counter -decoupled -fullrecheck -ops 2000   # paper-literal loop
 //	stress -model counter -decoupled -retain -ops 25000       # bounded-memory soak
+//	stress -model queue -decoupled -ops 5000 -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,7 +48,37 @@ func run() int {
 	retain := flag.Bool("retain", false, "decoupled: bounded-memory retention (GC committed prefixes behind the frontier)")
 	gcbatch := flag.Int("gcbatch", 0, "retention: GC batch size in events (0 = default)")
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the soak to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at soak end to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	m, ok := spec.ByName(*model)
 	if !ok {

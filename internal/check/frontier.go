@@ -3,6 +3,7 @@ package check
 import (
 	"repro/internal/history"
 	"repro/internal/spec"
+	"repro/internal/stateset"
 )
 
 // FinalStates enumerates the distinct sequential states reachable by
@@ -40,32 +41,7 @@ func FinalStates(init spec.State, h history.History, budget, maxStates int) ([]s
 		}
 	}
 
-	head := &node{}
-	tail := head
-	addNode := func(n *node) {
-		n.prev = tail
-		tail.next = n
-		tail = n
-	}
-	calls := make(map[uint64]*node, len(ops))
-	opIdxByID := make(map[uint64]int, len(ops))
-	for i, o := range ops {
-		opIdxByID[o.ID] = i
-	}
-	for _, e := range h {
-		i := opIdxByID[e.ID]
-		switch e.Kind {
-		case history.Invoke:
-			n := &node{opIdx: i, isCall: true}
-			calls[e.ID] = n
-			addNode(n)
-		case history.Return:
-			call := calls[e.ID]
-			ret := &node{opIdx: i, match: call}
-			call.match = ret
-			addNode(ret)
-		}
-	}
+	head, _ := buildCandidates(h, ops)
 
 	type frame struct {
 		n    *node
@@ -73,10 +49,10 @@ func FinalStates(init spec.State, h history.History, budget, maxStates int) ([]s
 	}
 	state := init
 	bs := newBitset(len(ops))
-	memo := make(map[string]struct{})
+	in := stateset.NewInternerHint(len(ops))
+	memo := stateset.NewMemoSetHint(len(bs), 2*len(ops))
 	memoOn := false // memoise only after the first backtrack, as in segSearch.Run
-	keyBuf := make([]byte, 0, 8*len(bs)+64)
-	var stack []frame
+	stack := make([]frame, 0, len(ops))
 	remaining := len(ops)
 	explored := 0
 	// The budget guards against combinatorial blowup, so it bounds the work
@@ -85,13 +61,17 @@ func FinalStates(init spec.State, h history.History, budget, maxStates int) ([]s
 	budget += len(ops)
 
 	var finals []spec.State
-	seenFinal := make(map[string]struct{})
+	var seenFinal []bool // indexed by intern id, grown on demand
 
 	entry := head.next
 	for {
 		if remaining == 0 {
-			if _, dup := seenFinal[state.Key()]; !dup {
-				seenFinal[state.Key()] = struct{}{}
+			id, _ := in.Intern(state)
+			for int(id) >= len(seenFinal) {
+				seenFinal = append(seenFinal, false)
+			}
+			if !seenFinal[id] {
+				seenFinal[id] = true
 				finals = append(finals, state)
 				if len(finals) > maxStates {
 					return nil, false
@@ -109,14 +89,10 @@ func FinalStates(init spec.State, h history.History, budget, maxStates int) ([]s
 				prune := false
 				if memoOn {
 					bs.set(entry.opIdx)
-					keyBuf = bs.appendKey(keyBuf[:0])
-					keyBuf = append(keyBuf, next.Key()...)
-					key := string(keyBuf)
-					if _, seen := memo[key]; seen {
+					id, _ := in.Intern(next)
+					if !memo.Insert(bs, id) {
 						prune = true
 						bs.clear(entry.opIdx)
-					} else {
-						memo[key] = struct{}{}
 					}
 				} else {
 					bs.set(entry.opIdx)

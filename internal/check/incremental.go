@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/spec"
+	"repro/internal/stateset"
 )
 
 // Incremental is a stateful linearizability monitor over a growing history.
@@ -429,7 +430,7 @@ func (inc *Incremental) compactTo(end int) {
 	piece := inc.h[inc.cutIdx:end]
 	budget := inc.policy.StateBudget
 	var next []spec.State
-	seen := make(map[string]struct{})
+	seen := stateset.NewInterner()
 	// A dead state exactly refuted the whole segment, so when the piece IS
 	// the segment its contribution is provably empty and the enumeration can
 	// be skipped. At an interior cut the piece is a proper prefix of the
@@ -447,11 +448,9 @@ func (inc *Incremental) compactTo(end int) {
 			return // keep the old cut; retry at the next quiescent point
 		}
 		for _, f := range finals {
-			k := f.Key()
-			if _, dup := seen[k]; dup {
+			if _, fresh := seen.Intern(f); !fresh {
 				continue
 			}
-			seen[k] = struct{}{}
 			next = append(next, f)
 		}
 		if len(next) > inc.policy.MaxFrontierStates {

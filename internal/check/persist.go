@@ -3,6 +3,7 @@ package check
 import (
 	"repro/internal/history"
 	"repro/internal/spec"
+	"repro/internal/stateset"
 )
 
 // segSearch is a Wing–Gong linearizability search whose state persists across
@@ -40,9 +41,9 @@ type segSearch struct {
 	state             spec.State
 	stack             []segFrame
 	bs                bitset
-	memo              map[string]struct{}
-	memoOn            bool // memoise only after the first backtrack (see Run)
-	keyBuf            []byte
+	in                *stateset.Interner // states interned over the search's lifetime
+	memo              *stateset.MemoSet  // (bitset, state id) configurations, reset per Feed
+	memoOn            bool               // memoise only after the first backtrack (see Run)
 	completeRemaining int
 	explored          int
 
@@ -85,7 +86,8 @@ func newSegSearch(init spec.State) *segSearch {
 		tail:  head,
 		calls: make(map[uint64]*node),
 		state: init,
-		memo:  make(map[string]struct{}),
+		in:    stateset.NewInterner(),
+		memo:  stateset.NewMemoSet(0),
 		fresh: true,
 	}
 }
@@ -176,9 +178,9 @@ func (s *segSearch) Feed(delta history.History) {
 	if len(delta) == 0 {
 		return
 	}
-	clear(s.memo)
 	s.memoOn = false
 	s.fed += len(delta)
+	defer func() { s.memo.Reset(len(s.bs)) }() // after the loop: the bitset may grow below
 	for _, e := range delta {
 		switch e.Kind {
 		case history.Invoke:
@@ -242,23 +244,20 @@ func (s *segSearch) Run() bool {
 			}
 			if ok {
 				// The memo exists to prune re-exploration after backtracks,
-				// but every entry's key serialises the whole linearized-set
-				// bitset — O(ops) bytes. On the greedy no-backtrack path
-				// (correct streams) every configuration is new, so memoising
-				// eagerly burns O(ops²) memory for zero pruning; start only
-				// at the first backtrack. Sound: a hit still means the exact
-				// configuration's subtree was explored under this event set.
+				// but every entry records the whole linearized-set bitset —
+				// O(ops) words. On the greedy no-backtrack path (correct
+				// streams) every configuration is new, so memoising eagerly
+				// burns O(ops²) memory for zero pruning; start only at the
+				// first backtrack. Sound: a hit still means the exact
+				// configuration's subtree was explored under this event set
+				// (interning is exact; see internal/stateset).
 				prune := false
 				if s.memoOn {
 					s.bs.set(entry.opIdx)
-					s.keyBuf = s.bs.appendKey(s.keyBuf[:0])
-					s.keyBuf = append(s.keyBuf, next.Key()...)
-					key := string(s.keyBuf)
-					if _, seen := s.memo[key]; seen {
+					id, _ := s.in.Intern(next)
+					if !s.memo.Insert(s.bs, id) {
 						prune = true
 						s.bs.clear(entry.opIdx)
-					} else {
-						s.memo[key] = struct{}{}
 					}
 				} else {
 					s.bs.set(entry.opIdx)

@@ -7,10 +7,9 @@
 package check
 
 import (
-	"encoding/binary"
-
 	"repro/internal/history"
 	"repro/internal/spec"
+	"repro/internal/stateset"
 )
 
 // LinOp is one element of a linearization witness.
@@ -41,9 +40,41 @@ type node struct {
 	prev, next *node
 	opIdx      int
 	isCall     bool
+	used       bool  // backing-array construction: slot belongs to a known op
 	match      *node // call -> its return node (nil if pending); ret -> call
 	linPos     int   // segSearch: stack index that linearized this call; -1 if none
 	lifted     bool  // segSearch: node currently removed from the candidate list
+}
+
+// buildCandidates links a candidate list over h's events out of one backing
+// array (one allocation instead of one per event), using the Inv/Ret indexes
+// Ops computed instead of re-mapping event ids. Events of unknown operations
+// (ill-formed input, which Ops tolerates) are skipped, as the map-based
+// construction effectively did.
+func buildCandidates(h history.History, ops []history.Op) (head *node, backing []node) {
+	backing = make([]node, len(h))
+	for i := range ops {
+		o := &ops[i]
+		c := &backing[o.InvIdx]
+		c.opIdx, c.isCall, c.used = i, true, true
+		if o.Complete {
+			r := &backing[o.RetIdx]
+			r.opIdx, r.match, r.used = i, c, true
+			c.match = r
+		}
+	}
+	head = &node{}
+	prev := head
+	for i := range backing {
+		n := &backing[i]
+		if !n.used {
+			continue
+		}
+		n.prev = prev
+		prev.next = n
+		prev = n
+	}
+	return head, backing
 }
 
 func (n *node) lift() {
@@ -80,13 +111,6 @@ func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
 func (b bitset) set(i int)   { b[i/64] |= 1 << (i % 64) }
 func (b bitset) clear(i int) { b[i/64] &^= 1 << (i % 64) }
 
-func (b bitset) appendKey(dst []byte) []byte {
-	for _, w := range b {
-		dst = binary.LittleEndian.AppendUint64(dst, w)
-	}
-	return dst
-}
-
 // Linearizable decides whether h is linearizable with respect to m
 // (Definition 4.2). h must be well-formed; callers can verify with Validate.
 func Linearizable(m spec.Model, h history.History) Result {
@@ -96,32 +120,7 @@ func Linearizable(m spec.Model, h history.History) Result {
 	}
 
 	// Build the candidate list in event order.
-	head := &node{}
-	nodes := make(map[uint64]*node, len(ops)) // op ID -> call node
-	tail := head
-	addNode := func(n *node) {
-		n.prev = tail
-		tail.next = n
-		tail = n
-	}
-	opIdxByID := make(map[uint64]int, len(ops))
-	for i, o := range ops {
-		opIdxByID[o.ID] = i
-	}
-	for _, e := range h {
-		i := opIdxByID[e.ID]
-		switch e.Kind {
-		case history.Invoke:
-			n := &node{opIdx: i, isCall: true}
-			nodes[e.ID] = n
-			addNode(n)
-		case history.Return:
-			call := nodes[e.ID]
-			ret := &node{opIdx: i, match: call}
-			call.match = ret
-			addNode(ret)
-		}
-	}
+	head, _ := buildCandidates(h, ops)
 
 	completeRemaining := 0
 	for _, o := range ops {
@@ -137,10 +136,10 @@ func Linearizable(m spec.Model, h history.History) Result {
 	}
 	state := m.Init()
 	bs := newBitset(len(ops))
-	memo := make(map[string]struct{})
-	var stack []frame
+	in := stateset.NewInternerHint(len(ops))
+	memo := stateset.NewMemoSetHint(len(bs), 2*len(ops))
+	stack := make([]frame, 0, len(ops))
 	explored := 0
-	keyBuf := make([]byte, 0, 8*len(bs)+64)
 
 	success := func() Result {
 		lin := make([]LinOp, len(stack))
@@ -164,11 +163,8 @@ func Linearizable(m spec.Model, h history.History) Result {
 			}
 			if ok {
 				bs.set(entry.opIdx)
-				keyBuf = bs.appendKey(keyBuf[:0])
-				keyBuf = append(keyBuf, next.Key()...)
-				key := string(keyBuf)
-				if _, seen := memo[key]; !seen {
-					memo[key] = struct{}{}
+				id, _ := in.Intern(next)
+				if memo.Insert(bs, id) {
 					explored++
 					stack = append(stack, frame{n: entry, prev: state, res: res})
 					entry.lift()

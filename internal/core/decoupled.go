@@ -71,6 +71,12 @@ const (
 	epochShards     = 2
 )
 
+// absorbChunk caps how many queued tupleBatches one absorb round merges, so
+// the dispatcher decides and publishes gauges between chunks even when
+// producers keep the batch channel saturated (ROADMAP: chunked absorb under
+// overload).
+const absorbChunk = 32
+
 // DecoupledStats aggregates the verification pipeline's counters.
 type DecoupledStats struct {
 	Scans               int64 // snapshot scans across all verifier goroutines
@@ -310,22 +316,30 @@ func (d *Decoupled) dispatch(scanners int) {
 	}
 
 	absorb := func(first tupleBatch, ok bool) {
-		// Coalesce everything already queued into one ingest pass so the
-		// monitor runs once per burst, not once per process. Batches are
+		// Coalesce batches already queued into one ingest pass so the monitor
+		// runs once per burst, not once per process — but cap the round at
+		// absorbChunk batches. Without the cap, producers that outrun
+		// verification keep the channel non-empty forever and one absorb
+		// round swallows the whole backlog: verification never interleaves
+		// with ingestion, and the retention gauges (cmd/stress -retain) show
+		// one giant final drain instead of the steady state. Batches are
 		// staged position-aware: a catch-up scan below may already have
 		// consumed the positions a queued batch covers.
 		var delta []Tuple
-		for {
+		for rounds := 0; ; {
 			if ok {
 				if first.corrupt != "" {
 					iv.MarkCorrupt(first.corrupt)
 				}
 				delta = append(delta, iv.stageBatch(first.proc, first.from, first.tuples)...)
+				rounds++
 			}
-			select {
-			case first, ok = <-d.batches:
-				continue
-			default:
+			if rounds < absorbChunk {
+				select {
+				case first, ok = <-d.batches:
+					continue
+				default:
+				}
 			}
 			break
 		}
@@ -360,7 +374,17 @@ func (d *Decoupled) dispatch(scanners int) {
 	finish := func() {
 		if scanners > 0 {
 			d.scanWg.Wait()
-			absorb(tupleBatch{}, false)
+			// Drain the whole backlog: absorb is chunked, so keep going until
+			// the channel is empty (no scanner can refill it now).
+			for drained := false; !drained; {
+				select {
+				case b := <-d.batches:
+					absorb(b, true)
+				default:
+					absorb(tupleBatch{}, false)
+					drained = true
+				}
+			}
 		}
 		// Final drain: everything published before Close gets verified.
 		iv.IngestHeads(d.m.Scan(0))

@@ -98,8 +98,51 @@ func (h History) Validate() error {
 }
 
 // Ops returns the operations of h in invocation order.
+//
+// The fast path matches a Return to the open invocation of its process via a
+// small per-proc table — no map, which matters because the linearizability
+// checker calls Ops on every decision. Irregularities it can see locally
+// (out-of-range procs, an invoke over an open op, a return whose proc has no
+// matching open op) fall back to the tolerant by-ID matching. One class of
+// §2-ill-formed input the fast path cannot detect — the same ID invoked by
+// two different processes — is matched per proc here, where by-ID matching
+// attached returns to the latest invoke of that ID; such histories are
+// rejected by Validate (and by the monitors' admitters) before any
+// Ops-based checking, so only callers feeding unvalidated ill-formed input
+// can observe the difference.
 func (h History) Ops() []Op {
-	byID := make(map[uint64]int) // id -> index into ops
+	const maxFastProc = 256
+	openByProc := [maxFastProc]int32{} // proc -> index+1 into ops; 0 = none
+	ops := make([]Op, 0, len(h)/2+1)
+	for i, e := range h {
+		switch e.Kind {
+		case Invoke:
+			if e.Proc < 0 || e.Proc >= maxFastProc || openByProc[e.Proc] != 0 {
+				return h.opsByID()
+			}
+			openByProc[e.Proc] = int32(len(ops)) + 1
+			ops = append(ops, Op{Proc: e.Proc, ID: e.ID, Op: e.Op, InvIdx: i, RetIdx: -1})
+		case Return:
+			if e.Proc < 0 || e.Proc >= maxFastProc {
+				return h.opsByID()
+			}
+			j := openByProc[e.Proc]
+			if j == 0 || ops[j-1].ID != e.ID {
+				return h.opsByID()
+			}
+			ops[j-1].RetIdx = i
+			ops[j-1].Res = e.Res
+			ops[j-1].Complete = true
+			openByProc[e.Proc] = 0
+		}
+	}
+	return ops
+}
+
+// opsByID is the tolerant slow path of Ops: operations match purely by ID,
+// so ill-formed histories still produce the same Op list they always did.
+func (h History) opsByID() []Op {
+	byID := make(map[uint64]int, len(h)/2+1) // id -> index into ops
 	ops := make([]Op, 0, len(h)/2+1)
 	for i, e := range h {
 		switch e.Kind {

@@ -1,13 +1,16 @@
-// Package soak is the shared body of the B9 bounded-memory acceptance
-// check, used by both the TestSoakRetentionB9 tier-1 test and the
-// cmd/perfgate CI gate so the stream shape, the oracle comparison and the
-// window bound cannot drift apart.
+// Package soak is the shared body of the benchmark-family acceptance
+// checks that run both as tier-1 tests/benchmarks and inside the
+// cmd/perfgate CI gate: the B9 bounded-memory soak (stream shape, oracle
+// comparison, window bound) and the B10 checker-allocation workloads
+// (model, concurrency, seed). Sharing one definition keeps the benchmark
+// and its gate from drifting onto different workloads.
 package soak
 
 import (
 	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/genlin"
+	"repro/internal/history"
 	"repro/internal/impls"
 	"repro/internal/spec"
 	"repro/internal/trace"
@@ -86,4 +89,27 @@ func Publish(m spec.Model, procs, ops int) []core.Tuple {
 		tuples = append(tuples, core.Tuple{Proc: p, Op: op, Res: y, View: view})
 	}
 	return tuples
+}
+
+// B10Workload names one dense-history workload of the B10 checker-allocation
+// family.
+type B10Workload struct {
+	Model spec.Model
+	Ops   int
+}
+
+// B10Workloads returns the canonical B10 workload set, shared by
+// BenchmarkCheckerAllocs (bench_test.go) and the cmd/perfgate allocation
+// gate so the benchmark and the CI gate cannot drift onto different
+// histories.
+func B10Workloads() []B10Workload {
+	return []B10Workload{
+		{spec.Queue(), 64}, {spec.Queue(), 256}, {spec.Stack(), 64}, {spec.Stack(), 256},
+	}
+}
+
+// B10History generates the exact history a B10 workload checks: dense
+// 4-process random linearizable streams under a fixed seed.
+func (w B10Workload) B10History() history.History {
+	return trace.RandomLinearizable(w.Model, 7, 4, w.Ops)
 }

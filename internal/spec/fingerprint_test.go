@@ -1,0 +1,201 @@
+package spec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// allModels are the eight sequential objects the checker supports.
+func allModels() []Model {
+	return []Model{Queue(), Stack(), Set(), PQueue(), Counter(), Register(0), Consensus(), SnapshotObj(3)}
+}
+
+// randomOp draws a random legal-looking operation for the model (the
+// transition may still be partial; callers skip rejected ops).
+func randomOp(m Model, rng *rand.Rand, uniq *uint64) Operation {
+	*uniq++
+	op := Operation{Uniq: *uniq}
+	switch m.Name() {
+	case "queue":
+		if rng.Intn(2) == 0 {
+			op.Method, op.Arg = MethodEnq, int64(rng.Intn(8))
+		} else {
+			op.Method = MethodDeq
+		}
+	case "stack":
+		if rng.Intn(2) == 0 {
+			op.Method, op.Arg = MethodPush, int64(rng.Intn(8))
+		} else {
+			op.Method = MethodPop
+		}
+	case "set":
+		op.Method = []string{MethodAdd, MethodRemove, MethodContains}[rng.Intn(3)]
+		op.Arg = int64(rng.Intn(8))
+	case "pqueue":
+		if rng.Intn(2) == 0 {
+			op.Method, op.Arg = MethodInsert, int64(rng.Intn(8))
+		} else {
+			op.Method = MethodMin
+		}
+	case "counter":
+		op.Method = []string{MethodInc, MethodRead}[rng.Intn(2)]
+	case "register":
+		if rng.Intn(2) == 0 {
+			op.Method, op.Arg = MethodWrite, int64(rng.Intn(8))
+		} else {
+			op.Method = MethodRead
+		}
+	case "consensus":
+		op.Method, op.Arg = MethodDecide, int64(rng.Intn(8))
+	case "snapshot":
+		if rng.Intn(2) == 0 {
+			op.Method, op.Arg = MethodWrite, PackUpdate(rng.Intn(3), int64(rng.Intn(8)))
+		} else {
+			op.Method = MethodRead
+		}
+	default:
+		op.Method = MethodRead
+	}
+	return op
+}
+
+// TestFingerprintMatchesKey is the soundness property the intern probe rests
+// on: along random Apply chains, two states have equal fingerprints whenever
+// their canonical keys are equal, EqualState agrees exactly with Key
+// equality, and fingerprints are maintained consistently (the incremental
+// hash of a state reached by one path equals that of the same abstract state
+// reached by any other path — states are bucketed by Key and all members of
+// a bucket must share one fingerprint).
+func TestFingerprintMatchesKey(t *testing.T) {
+	for _, m := range allModels() {
+		t.Run(m.Name(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			var uniq uint64
+			byKey := map[string]Fingerprinted{}
+			var states []Fingerprinted
+			for chain := 0; chain < 20; chain++ {
+				st := m.Init()
+				for step := 0; step < 60; step++ {
+					f, ok := st.(Fingerprinted)
+					if !ok {
+						t.Fatalf("%s state does not implement Fingerprinted", m.Name())
+					}
+					key := st.Key()
+					if prev, seen := byKey[key]; seen {
+						if prev.Fingerprint() != f.Fingerprint() {
+							t.Fatalf("key %q reached with two fingerprints: %x vs %x",
+								key, prev.Fingerprint(), f.Fingerprint())
+						}
+						if !prev.EqualState(f) || !f.EqualState(prev) {
+							t.Fatalf("key %q: EqualState disagrees with Key equality", key)
+						}
+					} else {
+						byKey[key] = f
+						states = append(states, f)
+					}
+					next, _, ok := st.Apply(randomOp(m, rng, &uniq))
+					if !ok {
+						continue
+					}
+					st = next
+				}
+			}
+			// Cross-check: distinct keys must never be EqualState.
+			for i := 0; i < len(states) && i < 40; i++ {
+				for j := i + 1; j < len(states) && j < 40; j++ {
+					if states[i].Key() != states[j].Key() && states[i].EqualState(states[j]) {
+						t.Fatalf("EqualState conflates %q and %q", states[i].Key(), states[j].Key())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWindowBranchDivergence drives the sharing-specific edge cases of the
+// window representation: two branches pushing different values from the same
+// state must not observe each other, re-pushing the same value must share the
+// slot, and re-applying an op must hit the successor cache (same pointer)
+// without changing semantics.
+func TestWindowBranchDivergence(t *testing.T) {
+	q := Queue().Init()
+	a1, _, _ := q.Apply(Operation{Method: MethodEnq, Arg: 1, Uniq: 1})
+	a2, _, _ := q.Apply(Operation{Method: MethodEnq, Arg: 2, Uniq: 2})
+	// With a warm cache the same pointer comes back (Uniq differs — δ must
+	// ignore it).
+	a2b, _, _ := q.Apply(Operation{Method: MethodEnq, Arg: 2, Uniq: 3})
+	if a2b != a2 {
+		t.Fatalf("re-applying the cached Enq(2) should return the cached successor")
+	}
+	a1b, _, _ := q.Apply(Operation{Method: MethodEnq, Arg: 1, Uniq: 4})
+	if got, want := a1.Key(), "q:1"; got != want {
+		t.Fatalf("branch 1 corrupted: %q != %q", got, want)
+	}
+	if got, want := a2.Key(), "q:2"; got != want {
+		t.Fatalf("branch 2 corrupted: %q != %q", got, want)
+	}
+	// The single-slot cache was overwritten by Enq(2), so a1b is a distinct
+	// node — but it must share the original slot (same abstract state) rather
+	// than observe branch 2's divergence copy.
+	if !a1.(Fingerprinted).EqualState(a1b.(Fingerprinted)) || a1b.Key() != "q:1" {
+		t.Fatalf("slot reuse broken: %q", a1b.Key())
+	}
+	// Deepen branch 1, then extend branch 2: windows over shared structure
+	// must stay independent.
+	b1, _, _ := a1.Apply(Operation{Method: MethodEnq, Arg: 3, Uniq: 4})
+	b2, _, _ := a2.Apply(Operation{Method: MethodEnq, Arg: 4, Uniq: 5})
+	if b1.Key() != "q:1,3" || b2.Key() != "q:2,4" {
+		t.Fatalf("deep branches corrupted: %q, %q", b1.Key(), b2.Key())
+	}
+	d, res, _ := b1.Apply(Operation{Method: MethodDeq, Uniq: 6})
+	if res != ValueResp(1) || d.Key() != "q:3" {
+		t.Fatalf("Deq after sharing: res=%v key=%q", res, d.Key())
+	}
+	// Fingerprint path-independence: q:3 via enq/deq vs fresh enq(3).
+	fresh, _, _ := Queue().Init().Apply(Operation{Method: MethodEnq, Arg: 3, Uniq: 7})
+	if d.(Fingerprinted).Fingerprint() != fresh.(Fingerprinted).Fingerprint() {
+		t.Fatalf("fingerprint is path-dependent for %q", d.Key())
+	}
+}
+
+// TestWindowCompaction forces the popFront dead-prefix compaction and checks
+// the surviving window is intact.
+func TestWindowCompaction(t *testing.T) {
+	st := Queue().Init()
+	var uniq uint64
+	enq := func(v int64) {
+		uniq++
+		next, _, ok := st.Apply(Operation{Method: MethodEnq, Arg: v, Uniq: uniq})
+		if !ok {
+			t.Fatal("Enq rejected")
+		}
+		st = next
+	}
+	deq := func(want int64) {
+		uniq++
+		next, res, ok := st.Apply(Operation{Method: MethodDeq, Uniq: uniq})
+		if !ok || res != ValueResp(want) {
+			t.Fatalf("Deq: got %v ok=%v, want %d", res, ok, want)
+		}
+		st = next
+	}
+	n := int64(2 * compactAt)
+	for v := int64(0); v < n; v++ {
+		enq(v)
+	}
+	for v := int64(0); v < n-3; v++ {
+		deq(v)
+	}
+	if got, want := st.Key(), Keyed(seqQueue, []int64{n - 3, n - 2, n - 1}); got != want {
+		t.Fatalf("after compaction: %q != %q", got, want)
+	}
+	if buf := st.(*seqState).buf; len(buf.data) > 3*compactAt {
+		t.Fatalf("backing never compacted: %d live elements, %d backing", st.(*seqState).size(), len(buf.data))
+	}
+}
+
+// Keyed renders the canonical key a window state with the given contents
+// would have (test helper).
+func Keyed(k seqKind, vals []int64) string {
+	return string(appendInts(append(make([]byte, 0, 2+8*len(vals)), keyPrefix[k], ':'), vals))
+}

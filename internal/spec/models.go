@@ -1,9 +1,6 @@
 package spec
 
-import (
-	"sort"
-	"strconv"
-)
+import "strconv"
 
 // appendInts encodes vs into b as a canonical comma-separated list.
 func appendInts(b []byte, vs []int64) []byte {
@@ -23,36 +20,12 @@ func appendInts(b []byte, vs []int64) []byte {
 type queueModel struct{}
 
 // Queue returns the sequential FIFO queue: Enq(v):ok, Deq():v or empty.
+// Its states are persistent windows (seqstate.go): Enq and Deq are O(1)
+// allocation via structural sharing.
 func Queue() Model { return queueModel{} }
 
 func (queueModel) Name() string { return "queue" }
-func (queueModel) Init() State  { return queueState(nil) }
-
-// queueState holds values front-first.
-type queueState []int64
-
-func (q queueState) Apply(op Operation) (State, Response, bool) {
-	switch op.Method {
-	case MethodEnq:
-		next := make(queueState, len(q)+1)
-		copy(next, q)
-		next[len(q)] = op.Arg
-		return next, OKResp(), true
-	case MethodDeq:
-		if len(q) == 0 {
-			return q, EmptyResp(), true
-		}
-		next := make(queueState, len(q)-1)
-		copy(next, q[1:])
-		return next, ValueResp(q[0]), true
-	default:
-		return nil, Response{}, false
-	}
-}
-
-func (q queueState) Key() string {
-	return string(appendInts(append(make([]byte, 0, 2+8*len(q)), 'q', ':'), q))
-}
+func (queueModel) Init() State  { return newSeqState(seqQueue) }
 
 // ---------------------------------------------------------------------------
 // Stack (LIFO)
@@ -61,36 +34,11 @@ func (q queueState) Key() string {
 type stackModel struct{}
 
 // Stack returns the sequential LIFO stack: Push(v):true, Pop():v or empty.
+// Push and Pop are O(1) allocation via structural sharing (seqstate.go).
 func Stack() Model { return stackModel{} }
 
 func (stackModel) Name() string { return "stack" }
-func (stackModel) Init() State  { return stackState(nil) }
-
-// stackState holds values bottom-first.
-type stackState []int64
-
-func (s stackState) Apply(op Operation) (State, Response, bool) {
-	switch op.Method {
-	case MethodPush:
-		next := make(stackState, len(s)+1)
-		copy(next, s)
-		next[len(s)] = op.Arg
-		return next, BoolResp(true), true
-	case MethodPop:
-		if len(s) == 0 {
-			return s, EmptyResp(), true
-		}
-		next := make(stackState, len(s)-1)
-		copy(next, s[:len(s)-1])
-		return next, ValueResp(s[len(s)-1]), true
-	default:
-		return nil, Response{}, false
-	}
-}
-
-func (s stackState) Key() string {
-	return string(appendInts(append(make([]byte, 0, 2+8*len(s)), 's', ':'), s))
-}
+func (stackModel) Init() State  { return newSeqState(seqStack) }
 
 // ---------------------------------------------------------------------------
 // Set
@@ -99,50 +47,13 @@ func (s stackState) Key() string {
 type setModel struct{}
 
 // Set returns the sequential integer set: Add(v):true/false (false if already
-// present), Remove(v):true/false, Contains(v):true/false.
+// present), Remove(v):true/false, Contains(v):true/false. States are sorted
+// windows (seqstate.go); in-order Add and Remove-of-the-minimum share
+// structure, out-of-order mutations copy.
 func Set() Model { return setModel{} }
 
 func (setModel) Name() string { return "set" }
-func (setModel) Init() State  { return setState(nil) }
-
-// setState holds members in strictly ascending order.
-type setState []int64
-
-func (s setState) index(v int64) (int, bool) {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	return i, i < len(s) && s[i] == v
-}
-
-func (s setState) Apply(op Operation) (State, Response, bool) {
-	i, present := s.index(op.Arg)
-	switch op.Method {
-	case MethodAdd:
-		if present {
-			return s, BoolResp(false), true
-		}
-		next := make(setState, len(s)+1)
-		copy(next, s[:i])
-		next[i] = op.Arg
-		copy(next[i+1:], s[i:])
-		return next, BoolResp(true), true
-	case MethodRemove:
-		if !present {
-			return s, BoolResp(false), true
-		}
-		next := make(setState, len(s)-1)
-		copy(next, s[:i])
-		copy(next[i:], s[i+1:])
-		return next, BoolResp(true), true
-	case MethodContains:
-		return s, BoolResp(present), true
-	default:
-		return nil, Response{}, false
-	}
-}
-
-func (s setState) Key() string {
-	return string(appendInts(append(make([]byte, 0, 2+8*len(s)), 'e', ':'), s))
-}
+func (setModel) Init() State  { return newSeqState(seqSet) }
 
 // ---------------------------------------------------------------------------
 // Priority queue (min-first, duplicates allowed)
@@ -151,39 +62,12 @@ func (s setState) Key() string {
 type pqueueModel struct{}
 
 // PQueue returns the sequential min-priority queue: Insert(v):ok,
-// ExtractMin():v or empty.
+// ExtractMin():v or empty. ExtractMin and ascending Inserts are O(1)
+// allocation via structural sharing (seqstate.go).
 func PQueue() Model { return pqueueModel{} }
 
 func (pqueueModel) Name() string { return "pqueue" }
-func (pqueueModel) Init() State  { return pqueueState(nil) }
-
-// pqueueState holds the multiset in ascending order.
-type pqueueState []int64
-
-func (p pqueueState) Apply(op Operation) (State, Response, bool) {
-	switch op.Method {
-	case MethodInsert:
-		i := sort.Search(len(p), func(i int) bool { return p[i] >= op.Arg })
-		next := make(pqueueState, len(p)+1)
-		copy(next, p[:i])
-		next[i] = op.Arg
-		copy(next[i+1:], p[i:])
-		return next, OKResp(), true
-	case MethodMin:
-		if len(p) == 0 {
-			return p, EmptyResp(), true
-		}
-		next := make(pqueueState, len(p)-1)
-		copy(next, p[1:])
-		return next, ValueResp(p[0]), true
-	default:
-		return nil, Response{}, false
-	}
-}
-
-func (p pqueueState) Key() string {
-	return string(appendInts(append(make([]byte, 0, 2+8*len(p)), 'p', ':'), p))
-}
+func (pqueueModel) Init() State  { return newSeqState(seqPQueue) }
 
 // ---------------------------------------------------------------------------
 // Counter
@@ -212,6 +96,10 @@ func (c counterState) Apply(op Operation) (State, Response, bool) {
 
 func (c counterState) Key() string { return "c:" + strconv.FormatInt(int64(c), 10) }
 
+func (c counterState) Fingerprint() uint64 { return mix64(uint64(c)) }
+
+func (c counterState) EqualState(o State) bool { t, ok := o.(counterState); return ok && t == c }
+
 // ---------------------------------------------------------------------------
 // Register
 // ---------------------------------------------------------------------------
@@ -239,6 +127,10 @@ func (r registerState) Apply(op Operation) (State, Response, bool) {
 }
 
 func (r registerState) Key() string { return "r:" + strconv.FormatInt(int64(r), 10) }
+
+func (r registerState) Fingerprint() uint64 { return mix64(uint64(r)) }
+
+func (r registerState) EqualState(o State) bool { t, ok := o.(registerState); return ok && t == r }
 
 // ---------------------------------------------------------------------------
 // Consensus (as a sequential object, §5)
@@ -277,6 +169,15 @@ func (c consensusState) Key() string {
 	}
 	return "d:" + strconv.FormatInt(c.val, 10)
 }
+
+func (c consensusState) Fingerprint() uint64 {
+	if !c.decided {
+		return 0
+	}
+	return mix64(uint64(c.val)) | 1
+}
+
+func (c consensusState) EqualState(o State) bool { t, ok := o.(consensusState); return ok && t == c }
 
 // ByName returns the model with the given Name, or ok=false. It is used by
 // command-line tools to select a model.
@@ -383,3 +284,13 @@ func (s snapshotState) Apply(op Operation) (State, Response, bool) {
 }
 
 func (s snapshotState) Key() string { return "n:" + s.vals }
+
+func (s snapshotState) Fingerprint() uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s.vals); i++ {
+		h = (h ^ uint64(s.vals[i])) * 1099511628211
+	}
+	return h
+}
+
+func (s snapshotState) EqualState(o State) bool { t, ok := o.(snapshotState); return ok && t == s }

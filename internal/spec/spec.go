@@ -99,7 +99,11 @@ func (r Response) String() string {
 }
 
 // State is one state of a sequential specification. Implementations must be
-// immutable: Apply returns the successor state without modifying the receiver.
+// immutable: Apply returns the successor state without modifying the
+// receiver's abstract state. States derived from one Init call may share
+// structure (and successor caches) internally, so a state *chain* must be
+// confined to one goroutine at a time; chains from distinct Init calls are
+// fully independent.
 type State interface {
 	// Apply runs the transition function δ on op. It returns the successor
 	// state and the response, or ok=false if op is not legal in this state
@@ -108,8 +112,23 @@ type State interface {
 
 	// Key returns a canonical encoding of the state. Two states represent the
 	// same abstract state if and only if their keys are equal; the
-	// linearizability checker uses keys for memoisation.
+	// linearizability checker uses keys for memoisation when the state does
+	// not implement Fingerprinted.
 	Key() string
+}
+
+// Fingerprinted is the allocation-free fast path of the checker's state
+// interning (internal/stateset). Fingerprint returns a 64-bit hash of the
+// abstract state — ideally maintained incrementally by Apply — that routes
+// the intern-table probe; EqualState confirms candidates exactly. The
+// contract is: EqualState(a, b) implies a.Fingerprint() == b.Fingerprint(),
+// and EqualState agrees with Key() equality. Fingerprints are never trusted
+// for equality on their own — a collision costs a failed compare, not a
+// wrong verdict. All models in this package implement it.
+type Fingerprinted interface {
+	State
+	Fingerprint() uint64
+	EqualState(State) bool
 }
 
 // Model is a sequential object: a name plus an initial state.

@@ -1,0 +1,11 @@
+package stateset
+
+// SetEpochForTest forces the memo's generation counter so tests can exercise
+// the wraparound clear without 2^32 Resets.
+func (m *MemoSet) SetEpochForTest(e uint32) { m.epoch = e }
+
+// TableLen exposes the open-addressed table size for growth assertions.
+func (t *Interner) TableLen() int { return len(t.table) }
+
+// SlotsLen exposes the memo table size for growth assertions.
+func (m *MemoSet) SlotsLen() int { return len(m.slots) }

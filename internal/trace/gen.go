@@ -71,6 +71,15 @@ func (g *OpGen) Next() spec.Operation {
 		}
 	case "consensus":
 		method = spec.MethodDecide
+	case "snapshot":
+		// Convention: a 4-entry snapshot object (spec.SnapshotObj(4)); Write
+		// carries a packed (process, value) update, Read responds with the
+		// vector hash.
+		if g.rng.Intn(2) == 0 {
+			method, arg = spec.MethodWrite, spec.PackUpdate(g.rng.Intn(4), int64(g.rng.Intn(64)))
+		} else {
+			method, arg = spec.MethodRead, 0
+		}
 	default:
 		method, arg = spec.MethodRead, 0
 	}
