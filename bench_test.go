@@ -8,6 +8,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -326,6 +327,49 @@ func BenchmarkCheckerAllocs(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// B11: parallel wait-free segment search — worker-pool Wing–Gong across
+// verification shards and frontier states
+// ---------------------------------------------------------------------------
+
+// BenchmarkParallelCheck is the B11 family; run with -cpu 1,2,4 and compare
+// wall-clock across the legs (the worker width tracks GOMAXPROCS, so the
+// -cpu matrix IS the scaling experiment; EXPERIMENTS.md records the ratios,
+// cmd/perfgate gates the 4-vs-1 ratio on hosts with >=4 CPUs).
+//
+//   - shards/*: the shard axis — 16 independent dense 4-proc histories per
+//     model verified through one check.Shards pool (internal/soak B11Specs).
+//   - frontier/queue: the frontier axis — the multi-state-frontier stream of
+//     trace.FrontierRounds, where each reveal burst forces five expensive
+//     independent refutations that check.WithParallelism overlaps.
+func BenchmarkParallelCheck(b *testing.B) {
+	for _, s := range soak.B11Specs() {
+		hs := s.Histories()
+		b.Run(fmt.Sprintf("shards/%s/ops=%d", s.Model.Name(), s.Ops), func(b *testing.B) {
+			workers := runtime.GOMAXPROCS(0)
+			for i := 0; i < b.N; i++ {
+				if _, ok := soak.RunShardCheck(s, hs, workers); !ok {
+					b.Fatal("shard refuted a linearizable history")
+				}
+			}
+		})
+	}
+	bursts := trace.FrontierRounds(8, false)
+	b.Run("frontier/queue", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			m := check.NewIncremental(spec.Queue(),
+				check.WithRetention(check.RetentionPolicy{GCBatch: 32}),
+				check.WithParallelism(workers))
+			for k, bu := range bursts {
+				if m.Append(bu) != check.Yes {
+					b.Fatalf("burst %d refuted a correct stream", k)
+				}
+			}
+		}
+	})
 }
 
 func BenchmarkXOfTau(b *testing.B) {

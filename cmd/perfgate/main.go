@@ -24,6 +24,15 @@
 //     workloads; the gate (default 400) is ~2.5x the interned checker's
 //     measured 60–160, so only a real regression trips it.
 //
+//   - B11 parallel-scaling gate: the shard-axis workload of
+//     BenchmarkParallelCheck (16 balanced dense queue shards through one
+//     check.Shards pool, internal/soak B11Specs), measured best-of-5 at 1
+//     worker and at 4 workers. CI fails if the 4-worker speedup falls below
+//     -minscale (default 1.5x) — that is, if the parallel engine stops
+//     overlapping independent verifications. Auto-skipped on hosts with
+//     fewer than 4 CPUs, where the ratio measures the scheduler, not the
+//     pool.
+//
 // Usage:
 //
 //	perfgate                    # all gates, JSON to BENCH_perf_smoke.json
@@ -37,6 +46,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 	"time"
 
@@ -70,6 +80,11 @@ type result struct {
 	SoakDiscarded  int           `json:"soak_discarded_events"`
 	SoakNs         int64         `json:"soak_ns"`
 	B10            []b10Workload `json:"b10_checker_allocs"`
+	B11Workers1Ns  int64         `json:"b11_workers1_ns,omitempty"`
+	B11Workers4Ns  int64         `json:"b11_workers4_ns,omitempty"`
+	B11Scale       float64       `json:"b11_scale_4v1,omitempty"`
+	B11MinScale    float64       `json:"b11_min_scale"`
+	B11Skipped     bool          `json:"b11_skipped,omitempty"`
 	Pass           bool          `json:"pass"`
 }
 
@@ -93,6 +108,7 @@ func run() int {
 	soakOps := flag.Int("soakops", 20000, "published operations for the B9 soak gate")
 	minRatio := flag.Float64("minratio", 100, "minimum incremental-vs-fullrecheck speedup")
 	maxAllocs := flag.Int64("maxallocs", 400, "maximum allocs/op for the B10 checker gate")
+	minScale := flag.Float64("minscale", 1.5, "minimum 4-worker-vs-1 speedup for the B11 parallel gate (auto-skip below 4 CPUs)")
 	baseline := flag.Bool("baseline", false, "emit B10 speedup vs the recorded pre-PR baseline (reference host only)")
 	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
 	flag.Parse()
@@ -204,6 +220,51 @@ func run() int {
 		if bw.AllocsOp > *maxAllocs {
 			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d allocates %d/op, above the %d gate — the search core regressed\n",
 				bw.Model, bw.Ops, bw.AllocsOp, *maxAllocs)
+			ok = false
+		}
+	}
+
+	// --- B11 parallel-scaling gate -----------------------------------------
+	// The shard-axis workload of BenchmarkParallelCheck (internal/soak), one
+	// Shards round per measurement, best-of-5 per worker width so a noisy
+	// neighbour cannot fail the gate. Below 4 CPUs the ratio measures the OS
+	// scheduler rather than the worker pool, so the gate skips itself — the
+	// equivalence and race suites still cover correctness there.
+	res.B11MinScale = *minScale
+	if runtime.NumCPU() < 4 {
+		res.B11Skipped = true
+		fmt.Printf("B11 gate: skipped (%d CPUs < 4; scaling is only meaningful with free cores)\n", runtime.NumCPU())
+	} else {
+		s := soak.B11Specs()[0] // the dense queue shard set
+		hs := s.Histories()
+		measure := func(workers int) (int64, bool) {
+			best := int64(1) << 62
+			for r := 0; r < 5; r++ {
+				d, okRun := soak.RunShardCheck(s, hs, workers)
+				if !okRun {
+					return 0, false
+				}
+				if d.Nanoseconds() < best {
+					best = d.Nanoseconds()
+				}
+			}
+			return best, true
+		}
+		t1, ok1 := measure(1)
+		t4, ok4 := measure(4)
+		if !ok1 || !ok4 {
+			fmt.Fprintln(os.Stderr, "FAIL: B11 shard check refuted a linearizable history")
+			return 1
+		}
+		res.B11Workers1Ns, res.B11Workers4Ns = t1, t4
+		if t4 > 0 {
+			res.B11Scale = float64(t1) / float64(t4)
+		}
+		fmt.Printf("B11 gate: %s shards=%d workers1=%v workers4=%v scale=%.2fx (min %.2fx)\n",
+			s.Model.Name(), len(s.Seeds), time.Duration(t1), time.Duration(t4), res.B11Scale, *minScale)
+		if res.B11Scale < *minScale {
+			fmt.Fprintf(os.Stderr, "FAIL: B11 parallel speedup %.2fx below the %.2fx gate — the worker pool stopped scaling\n",
+				res.B11Scale, *minScale)
 			ok = false
 		}
 	}

@@ -46,6 +46,7 @@ func run() int {
 	verifiers := flag.Int("verifiers", 3, "decoupled verifier goroutines (1 dispatcher + scanners)")
 	fullrecheck := flag.Bool("fullrecheck", false, "decoupled: use the paper-literal whole-history re-check loop")
 	retain := flag.Bool("retain", false, "decoupled: bounded-memory retention (GC committed prefixes behind the frontier)")
+	workers := flag.Int("workers", 1, "decoupled: parallel segment-search workers inside the monitor (requires -decoupled -retain; incompatible with -fullrecheck)")
 	gcbatch := flag.Int("gcbatch", 0, "retention: GC batch size in events (0 = default)")
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the soak to this file")
@@ -106,11 +107,30 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-retain is incompatible with -fullrecheck (the paper-literal loop re-reads the whole sketch)")
 		return 2
 	}
+	if *workers < 1 {
+		fmt.Fprintf(os.Stderr, "-workers %d: the pool needs at least one worker\n", *workers)
+		return 2
+	}
+	if *workers > 1 && *fullrecheck {
+		fmt.Fprintln(os.Stderr, "-workers > 1 is incompatible with -fullrecheck (the paper-literal brute loop has no incremental monitor to parallelise)")
+		return 2
+	}
+	if *workers > 1 && !*decoupled {
+		fmt.Fprintln(os.Stderr, "-workers requires -decoupled (only the decoupled monitor runs the parallel segment engine)")
+		return 2
+	}
+	if *workers > 1 && !*retain {
+		// Without retention the monitor keeps a single-state (witness)
+		// frontier, so the pool would never fan out: every -workers value
+		// would measure the same sequential run, which is worse than an error.
+		fmt.Fprintln(os.Stderr, "-workers > 1 requires -retain (only the exact multi-state frontier of the retention mode has independent states to fan out across)")
+		return 2
+	}
 	if *decoupled {
 		cfg := decoupledCfg{
 			fault: *fault, rate: *rate, procs: *procs, ops: *ops, seeds: *seeds,
 			verifiers: *verifiers, fullrecheck: *fullrecheck,
-			retain: *retain, gcbatch: *gcbatch, report: *report,
+			retain: *retain, workers: *workers, gcbatch: *gcbatch, report: *report,
 		}
 		return runDecoupled(m, obj, mode, cfg)
 	}
@@ -178,6 +198,7 @@ type decoupledCfg struct {
 	verifiers   int
 	fullrecheck bool
 	retain      bool
+	workers     int
 	gcbatch     int
 	report      time.Duration
 }
@@ -191,6 +212,7 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 	var totalOps atomic.Int64
 	detectedRuns := 0
 	var agg core.DecoupledStats
+	aggWorkers := make([]check.WorkerStat, cfg.workers)
 	start := time.Now()
 	for seed := 0; seed < cfg.seeds; seed++ {
 		inner := impls.ForModel(m)
@@ -204,6 +226,9 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		}
 		if cfg.retain {
 			opts = append(opts, core.WithDecoupledRetention(check.RetentionPolicy{GCBatch: cfg.gcbatch}))
+		}
+		if cfg.workers > 1 {
+			opts = append(opts, core.WithDecoupledParallelism(cfg.workers))
 		}
 		d := core.NewDecoupled(inner, cfg.procs, cfg.verifiers, obj,
 			func(core.Report) { reports.Add(1) }, opts...)
@@ -267,14 +292,21 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		// Gauges, not counters: keep the last run's final state.
 		agg.Verify.RetainedTuples = st.Verify.RetainedTuples
 		agg.Verify.Check.RetainedEvents = st.Verify.Check.RetainedEvents
+		for i, w := range st.Workers {
+			if i < len(aggWorkers) {
+				aggWorkers[i].Tasks += w.Tasks
+				aggWorkers[i].Explored += w.Explored
+				aggWorkers[i].Cancelled += w.Cancelled
+			}
+		}
 		if reports.Load() > 0 {
 			detectedRuns++
 		}
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v\n",
-		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain)
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v workers=%d\n",
+		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.workers)
 	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
@@ -285,6 +317,15 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 			agg.Verify.Check.GCRuns, agg.Verify.Check.DiscardedEvents, agg.Verify.Check.RetainedEvents,
 			agg.Verify.DiscardedTuples, agg.Verify.RetainedTuples, agg.Verify.Deferrals,
 			agg.ResultNodesReleased, agg.Verify.AnnNodesReleased)
+	}
+	if cfg.workers > 1 {
+		// Scheduling-dependent diagnostics (check.WorkerStat): which slot did
+		// how much, and how much speculation the first-witness cancel killed.
+		fmt.Printf("search workers:")
+		for i, w := range aggWorkers {
+			fmt.Printf(" [%d] tasks=%d explored=%d cancelled=%d", i, w.Tasks, w.Explored, w.Cancelled)
+		}
+		fmt.Println()
 	}
 	fmt.Printf("runs with ERROR report: %d/%d\n", detectedRuns, cfg.seeds)
 	if mode == 0 && detectedRuns > 0 {

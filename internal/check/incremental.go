@@ -54,6 +54,10 @@ type Incremental struct {
 	retain bool
 	policy RetentionPolicy
 
+	workers int            // parallel fan-out width; <=1 is the sequential engine
+	pool    *stateset.Pool // recycled search arenas for the parallel engine
+	wstats  []WorkerStat   // per-worker-slot diagnostics (scheduling-dependent)
+
 	h     history.History
 	hBase int          // events discarded by GC before h[0] (retention mode)
 	base  []spec.State // exact state set at hBase; nil means {model.Init()}
@@ -144,6 +148,27 @@ func WithRetention(p RetentionPolicy) IncOption {
 	}
 }
 
+// WithParallelism runs segment checks and frontier enumerations on up to n
+// workers when the frontier holds several live states (the per-state
+// subproblems are independent; see parallel.go). n <= 1 keeps the engine
+// strictly sequential. Verdicts and IncStats are identical to the sequential
+// engine's under any scheduling — the join commits outcomes in frontier
+// order up to the first witness — so parallelism is purely a latency knob.
+// Multi-state frontiers only arise under WithRetention; without it the
+// option is accepted but the fan-out never triggers.
+func WithParallelism(n int) IncOption {
+	return func(inc *Incremental) {
+		if n < 1 {
+			n = 1
+		}
+		inc.workers = n
+		if n > 1 {
+			inc.pool = &stateset.Pool{}
+			inc.wstats = make([]WorkerStat, n)
+		}
+	}
+}
+
 // IncStats counts what the incremental pipeline actually did; EXPERIMENTS.md
 // records them and cmd/stress prints them. Counters are cumulative over the
 // monitor's lifetime — Reset does not zero them (see Reset).
@@ -161,6 +186,8 @@ type IncStats struct {
 
 	SearchResumes  int // segment checks answered by resuming the persistent search
 	SearchRebuilds int // scratch rebuilds of the persistent search
+	SegExplored    int // configurations explored by committed segment-search runs
+	ParallelRounds int // fan-out rounds (segment checks + frontier enumerations) run on the pool
 
 	GCRuns            int   // garbage collections performed
 	DiscardedEvents   int   // events released by GC, cumulative
@@ -248,12 +275,26 @@ func (inc *Incremental) Append(delta history.History) Verdict {
 
 // checkSegment decides whether the events after the cut linearize from some
 // frontier state, resuming each state's persistent search and re-deciding
-// refutations with a scratch search so that a false answer is exact.
+// refutations with a scratch search so that a false answer is exact. With
+// WithParallelism and at least two live frontier states the per-state
+// pipelines fan out across the worker pool (checkSegmentParallel) with
+// identical verdicts and stats.
 func (inc *Incremental) checkSegment() bool {
 	seg := inc.h[inc.cutIdx:]
 	inc.stats.SegChecks++
 	if len(seg) > inc.stats.MaxSegment {
 		inc.stats.MaxSegment = len(seg)
+	}
+	if inc.workers > 1 {
+		live := make([]int, 0, len(inc.frontier))
+		for i := range inc.frontier {
+			if inc.dead == nil || !inc.dead[i] {
+				live = append(live, i)
+			}
+		}
+		if len(live) > 1 {
+			return inc.checkSegmentParallel(seg, live)
+		}
 	}
 	for i := range inc.frontier {
 		if inc.dead != nil && inc.dead[i] {
@@ -261,23 +302,30 @@ func (inc *Incremental) checkSegment() bool {
 		}
 		se := inc.searches[i]
 		if se == nil {
-			se = rebuildSegSearch(inc.frontier[i], seg)
+			se = rebuildSegSearchPooled(inc.frontier[i], seg, inc.pool)
 			inc.searches[i] = se
 			inc.stats.SearchRebuilds++
 		} else {
 			se.Feed(seg[se.fed:])
 			inc.stats.SearchResumes++
 		}
-		if se.Run() {
+		before := se.explored
+		ok := se.Run()
+		inc.stats.SegExplored += se.explored - before
+		if ok {
 			inc.stats.SegYes++
 			return true
 		}
 		if !se.Exhausted() {
 			// Optimistic resume refuted; only a fresh search is complete.
-			se = rebuildSegSearch(inc.frontier[i], seg)
+			se.release(inc.pool)
+			se = rebuildSegSearchPooled(inc.frontier[i], seg, inc.pool)
 			inc.searches[i] = se
 			inc.stats.SearchRebuilds++
-			if se.Run() {
+			before = se.explored
+			ok = se.Run()
+			inc.stats.SegExplored += se.explored - before
+			if ok {
 				inc.stats.SegYes++
 				return true
 			}
@@ -347,9 +395,26 @@ func (inc *Incremental) fallback() Verdict {
 	return Yes
 }
 
+// releaseSearches returns every persistent search's pooled arena before the
+// searches slice is dropped; without this, each compaction would orphan up
+// to MaxFrontierStates grown interner/memo tables and the next round's
+// rebuilds would find an empty free list — exactly the re-grow churn the
+// pool exists to amortise. A no-op for the sequential engine (nil pool).
+func (inc *Incremental) releaseSearches() {
+	if inc.pool == nil {
+		return
+	}
+	for _, se := range inc.searches {
+		if se != nil {
+			se.release(inc.pool)
+		}
+	}
+}
+
 // resetFrontier moves the cut back to the start of the retained history with
 // the given state set.
 func (inc *Incremental) resetFrontier(states []spec.State) {
+	inc.releaseSearches()
 	inc.cutIdx = 0
 	inc.frontier = states
 	inc.searches = make([]*segSearch, len(states))
@@ -429,8 +494,6 @@ func (inc *Incremental) compactTo(end int) {
 	}
 	piece := inc.h[inc.cutIdx:end]
 	budget := inc.policy.StateBudget
-	var next []spec.State
-	seen := stateset.NewInterner()
 	// A dead state exactly refuted the whole segment, so when the piece IS
 	// the segment its contribution is provably empty and the enumeration can
 	// be skipped. At an interior cut the piece is a proper prefix of the
@@ -438,11 +501,41 @@ func (inc *Incremental) compactTo(end int) {
 	// states belong in the exact set (the refutation only constrains what
 	// the suffix can extend).
 	wholeSegment := end == len(inc.h)
-	for i, st := range inc.frontier {
+	idxs := make([]int, 0, len(inc.frontier))
+	for i := range inc.frontier {
 		if wholeSegment && inc.dead[i] {
 			continue
 		}
-		finals, ok := FinalStates(st, piece, budget, inc.policy.MaxFrontierStates)
+		idxs = append(idxs, i)
+	}
+	// With several states to enumerate, fan the (independent) enumerations
+	// out across the pool; each worker detaches its state so no chain is
+	// shared (see parallel.go). The merge below stays sequential and in
+	// frontier order, so the committed set — and the overflow accounting —
+	// is identical to the sequential engine's: a detached copy walks the
+	// same DFS and yields the same finals in the same order.
+	var parFinals [][]spec.State
+	var parOK []bool
+	if inc.workers > 1 && len(idxs) > 1 {
+		inc.stats.ParallelRounds++
+		parFinals = make([][]spec.State, len(idxs))
+		parOK = make([]bool, len(idxs))
+		runParallel(len(idxs), inc.workers, func(slot, p int) {
+			inc.wstats[slot].Tasks++
+			parFinals[p], parOK[p] = FinalStates(spec.Detach(inc.frontier[idxs[p]]),
+				piece, budget, inc.policy.MaxFrontierStates)
+		})
+	}
+	var next []spec.State
+	seen := stateset.NewInterner()
+	for p, i := range idxs {
+		var finals []spec.State
+		var ok bool
+		if parFinals != nil {
+			finals, ok = parFinals[p], parOK[p]
+		} else {
+			finals, ok = FinalStates(inc.frontier[i], piece, budget, inc.policy.MaxFrontierStates)
+		}
 		if !ok {
 			inc.stats.FrontierOverflows++
 			return // keep the old cut; retry at the next quiescent point
@@ -458,6 +551,7 @@ func (inc *Incremental) compactTo(end int) {
 			return
 		}
 	}
+	inc.releaseSearches()
 	inc.cutIdx = end
 	inc.frontier = next
 	inc.searches = make([]*segSearch, len(next))
@@ -486,6 +580,7 @@ func (inc *Incremental) compactWitness(lin []LinOp, end int) {
 		}
 		st = next
 	}
+	inc.releaseSearches()
 	inc.cutIdx = end
 	inc.frontier = []spec.State{st}
 	inc.searches = make([]*segSearch, 1)
@@ -637,3 +732,22 @@ func (inc *Incremental) Err() error { return inc.err }
 
 // Stats returns the pipeline counters so far.
 func (inc *Incremental) Stats() IncStats { return inc.stats }
+
+// Parallelism returns the configured worker count (1 for the sequential
+// engine).
+func (inc *Incremental) Parallelism() int {
+	if inc.workers < 1 {
+		return 1
+	}
+	return inc.workers
+}
+
+// WorkerStats returns a copy of the per-worker-slot diagnostics, or nil
+// without WithParallelism. Unlike IncStats these are scheduling-dependent
+// (see WorkerStat).
+func (inc *Incremental) WorkerStats() []WorkerStat {
+	if inc.wstats == nil {
+		return nil
+	}
+	return append([]WorkerStat(nil), inc.wstats...)
+}

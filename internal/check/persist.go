@@ -57,6 +57,9 @@ type segSearch struct {
 
 	fed   int  // events consumed from the segment
 	fresh bool // the last Run started from an empty stack (exact on false)
+
+	sc      *stateset.Scratch // pooled arena backing in/memo; nil if owned outright
+	aborted bool              // the last run was cancelled by the parallel race control
 }
 
 // segOp mirrors history.Op for the search: the mutable completion status is
@@ -78,17 +81,37 @@ type segFrame struct {
 
 // newSegSearch returns an empty search over a segment starting at init.
 func newSegSearch(init spec.State) *segSearch {
+	return newSegSearchScratch(init, stateset.NewScratch(), nil)
+}
+
+// newSegSearchScratch builds the search over a caller-provided arena; sc is
+// remembered so release can return it to pool (nil pool: the arena is owned
+// outright, release is a no-op).
+func newSegSearchScratch(init spec.State, sc *stateset.Scratch, pool *stateset.Pool) *segSearch {
 	head := &node{}
-	return &segSearch{
+	s := &segSearch{
 		init:  init,
 		byID:  make(map[uint64]int),
 		head:  head,
 		tail:  head,
 		calls: make(map[uint64]*node),
 		state: init,
-		in:    stateset.NewInterner(),
-		memo:  stateset.NewMemoSet(0),
+		in:    sc.In,
+		memo:  sc.Memo,
 		fresh: true,
+	}
+	if pool != nil {
+		s.sc = sc
+	}
+	return s
+}
+
+// release returns the search's arena to the pool, if it came from one. The
+// search must not Run or Feed afterwards.
+func (s *segSearch) release(pool *stateset.Pool) {
+	if s.sc != nil {
+		pool.Put(s.sc)
+		s.sc, s.in, s.memo = nil, nil, nil
 	}
 }
 
@@ -226,13 +249,36 @@ func (s *segSearch) Feed(delta history.History) {
 // events from init exists along the current branch. A true answer is exact
 // (explicit witness); a false answer is exact only if Exhausted() — see the
 // type comment.
-func (s *segSearch) Run() bool {
+func (s *segSearch) Run() bool { return s.run(nil, 0) }
+
+// cancelStride is how many search steps pass between checks of the race
+// control: rare enough to stay off the hot path, frequent enough that a
+// cancelled speculative refutation stops within microseconds.
+const cancelStride = 1024
+
+// run is Run with first-witness cancellation: when ctl records a witness at a
+// frontier position before pos, this search's outcome can no longer matter
+// (the parallel join commits outcomes only up to the first accepting
+// position), so it aborts. An aborted run answers false with s.aborted set;
+// the answer carries no information and the caller must discard the search.
+func (s *segSearch) run(ctl *raceCtl, pos int32) bool {
 	// Starting from an empty stack with a memo free of entries recorded
 	// against a smaller event set (Feed clears it), the DFS explores the full
 	// tree, so a false answer is an exact refutation.
 	s.fresh = len(s.stack) == 0
+	s.aborted = false
+	steps := 0
 	entry := s.head.next
 	for {
+		if ctl != nil {
+			if steps++; steps >= cancelStride {
+				steps = 0
+				if ctl.beaten(pos) {
+					s.aborted = true
+					return false
+				}
+			}
+		}
 		if s.completeRemaining == 0 {
 			return true
 		}
@@ -305,6 +351,14 @@ func (s *segSearch) Witness() []LinOp {
 // first Run is an exact decision.
 func rebuildSegSearch(init spec.State, seg history.History) *segSearch {
 	s := newSegSearch(init)
+	s.Feed(seg)
+	return s
+}
+
+// rebuildSegSearchPooled is rebuildSegSearch drawing its arena from pool (nil
+// pool falls back to fresh allocation).
+func rebuildSegSearchPooled(init spec.State, seg history.History, pool *stateset.Pool) *segSearch {
+	s := newSegSearchScratch(init, pool.Get(), pool)
 	s.Feed(seg)
 	return s
 }

@@ -51,8 +51,9 @@ type Decoupled struct {
 	batches  chan tupleBatch
 	full     bool
 
-	retain bool
-	policy check.RetentionPolicy
+	retain   bool
+	policy   check.RetentionPolicy
+	parallel int
 	// epochs[p] tracks, for process p's result cons-list, how deep each
 	// verifier shard (its owning scanner and the dispatcher) has consumed, so
 	// the scanner can release the prefix every shard is past.
@@ -83,6 +84,9 @@ type DecoupledStats struct {
 	Reports             int   // deduplicated reports issued
 	ResultNodesReleased int64 // result cons-list nodes released by retention
 	Verify              IncVerifyStats
+	// Workers holds the monitor's per-worker-slot diagnostics under
+	// WithDecoupledParallelism (nil otherwise); see check.WorkerStat.
+	Workers []check.WorkerStat
 }
 
 // tupleBatch is one process's newly published tuples, forwarded by a scanner
@@ -100,10 +104,11 @@ type tupleBatch struct {
 type DecoupledOption func(*decoupledCfg)
 
 type decoupledCfg struct {
-	drvOpts []Option
-	full    bool
-	retain  bool
-	policy  check.RetentionPolicy
+	drvOpts  []Option
+	full     bool
+	retain   bool
+	policy   check.RetentionPolicy
+	parallel int
 }
 
 // WithDecoupledDRV forwards options to the underlying A* construction.
@@ -129,6 +134,21 @@ func WithDecoupledRetention(p check.RetentionPolicy) DecoupledOption {
 	return func(c *decoupledCfg) { c.retain = true; c.policy = p }
 }
 
+// WithDecoupledParallelism gives the dispatcher's monitor a worker pool of
+// width n (check.WithParallelism via WithVerifierParallelism): the
+// independent per-frontier-state segment searches of one ingest pass overlap
+// on the pool instead of serialising behind the single absorb loop, so a
+// burst whose frontier fans out no longer stalls batch absorption for the
+// sum of its refutations. Reports and verdicts are unchanged. Incompatible
+// with WithFullRecheck (the paper-literal loop has no incremental monitor to
+// parallelise); full-recheck wins if both are given. Only effective together
+// with WithDecoupledRetention: the full-witness monitor keeps a single-state
+// frontier, so without retention the pool never fans out (accepted but a
+// no-op, as check.WithParallelism documents).
+func WithDecoupledParallelism(n int) DecoupledOption {
+	return func(c *decoupledCfg) { c.parallel = n }
+}
+
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
 // onReport is called from the verification pipeline when a violation is
 // found; reports are deduplicated (one per violation — violations are sticky
@@ -151,6 +171,7 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 		full:     cfg.full,
 		retain:   cfg.retain && !cfg.full,
 		policy:   cfg.policy,
+		parallel: cfg.parallel,
 	}
 	if verifiers <= 0 {
 		return d
@@ -273,6 +294,9 @@ func (d *Decoupled) dispatch(scanners int) {
 	if d.retain {
 		ivOpts = append(ivOpts, WithVerifierRetention(d.policy))
 	}
+	if d.parallel > 1 {
+		ivOpts = append(ivOpts, WithVerifierParallelism(d.parallel))
+	}
 	iv := NewIncVerifier(d.n, d.obj, ivOpts...)
 	reported := false
 	released := make([]int, d.n)
@@ -368,6 +392,7 @@ func (d *Decoupled) dispatch(scanners int) {
 		}
 		d.statsMu.Lock()
 		d.stats.Verify = iv.Stats()
+		d.stats.Workers = iv.WorkerStats()
 		d.statsMu.Unlock()
 	}
 
@@ -472,6 +497,7 @@ func (d *Decoupled) fullVerifyLoop(j int) {
 func (d *Decoupled) Stats() DecoupledStats {
 	d.statsMu.Lock()
 	st := d.stats
+	st.Workers = append([]check.WorkerStat(nil), d.stats.Workers...)
 	d.statsMu.Unlock()
 	st.Scans = d.scans.Load()
 	st.ResultNodesReleased = d.resReleased.Load()

@@ -66,6 +66,7 @@ type IncVerifier struct {
 
 	retain       bool
 	retainPolicy check.RetentionPolicy
+	parallelism  int                   // monitor fan-out width; <=1 sequential
 	evMeta       []int32               // per assembled event: proc for an invocation, -1 for a response
 	evHead       int                   // consumed prefix of evMeta (events the monitor GC'd)
 	baseAnn      []int                 // per-process announce floor: invocations behind the GC horizon
@@ -107,6 +108,17 @@ func WithVerifierRetention(p check.RetentionPolicy) IncVerifierOption {
 	return func(iv *IncVerifier) { iv.retain = true; iv.retainPolicy = p }
 }
 
+// WithVerifierParallelism runs the inner monitor's segment checks and
+// frontier enumerations on up to n workers (check.WithParallelism): the
+// dispatcher's ingest pass no longer serialises the independent per-frontier-
+// state searches behind its single goroutine. Verdicts and stats are
+// unchanged (the parallel engine is sequential-equivalent by construction);
+// it requires an object that is linearizability of a sequential model and is
+// ignored otherwise.
+func WithVerifierParallelism(n int) IncVerifierOption {
+	return func(iv *IncVerifier) { iv.parallelism = n }
+}
+
 // NewIncVerifier builds the pipeline for n processes monitoring obj.
 func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVerifier {
 	iv := &IncVerifier{
@@ -126,14 +138,26 @@ func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVer
 		iv.retain = false
 	}
 	if m != nil {
+		var incOpts []check.IncOption
 		if iv.retain {
-			iv.inc = check.NewIncremental(m, check.WithRetention(iv.retainPolicy))
+			incOpts = append(incOpts, check.WithRetention(iv.retainPolicy))
 			iv.baseAnn = make([]int, n)
-		} else {
-			iv.inc = check.NewIncremental(m)
 		}
+		if iv.parallelism > 1 {
+			incOpts = append(incOpts, check.WithParallelism(iv.parallelism))
+		}
+		iv.inc = check.NewIncremental(m, incOpts...)
 	}
 	return iv
+}
+
+// WorkerStats returns the inner monitor's per-worker diagnostics (nil without
+// WithVerifierParallelism or on the generic-object path).
+func (iv *IncVerifier) WorkerStats() []check.WorkerStat {
+	if iv.inc == nil {
+		return nil
+	}
+	return iv.inc.WorkerStats()
 }
 
 // IngestHeads consumes a fresh scan of the result snapshot, ingesting only

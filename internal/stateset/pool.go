@@ -1,0 +1,77 @@
+package stateset
+
+import "sync"
+
+// Reset empties the intern table for reuse while keeping its capacity: the
+// slot array is zeroed and the per-id columns are truncated with their
+// references cleared (interned states must not be pinned by a pooled table).
+// Ids handed out before the call are invalid afterwards.
+func (t *Interner) Reset() {
+	for i := range t.table {
+		t.table[i] = 0
+	}
+	for i := range t.states {
+		t.states[i] = nil
+	}
+	t.states = t.states[:0]
+	t.fps = t.fps[:0]
+	for i := range t.keys {
+		t.keys[i] = ""
+	}
+	t.keys = t.keys[:0]
+}
+
+// Scratch is one search's memoisation arena: an intern table plus a
+// configuration set. The parallel segment engine (internal/check) gives every
+// worker its own Scratch, so concurrent searches never contend on — or
+// corrupt — each other's tables.
+type Scratch struct {
+	In   *Interner
+	Memo *MemoSet
+}
+
+// NewScratch returns a fresh arena.
+func NewScratch() *Scratch {
+	return &Scratch{In: NewInterner(), Memo: NewMemoSet(0)}
+}
+
+// Pool recycles Scratch arenas across searches. A scratch-rebuilt segment
+// search allocates an intern table and a memo set; under the parallel engine
+// rebuilds happen on every refuting frontier state of every append, so
+// reusing the grown tables (instead of re-growing fresh ones through the
+// resize ladder) is what keeps allocs/op amortised. The zero Pool is ready to
+// use; a nil *Pool disables reuse (Get allocates, Put drops).
+type Pool struct {
+	mu   sync.Mutex
+	free []*Scratch
+}
+
+// Get returns an empty Scratch, reusing a released one when available.
+func (p *Pool) Get() *Scratch {
+	if p == nil {
+		return NewScratch()
+	}
+	p.mu.Lock()
+	n := len(p.free)
+	if n == 0 {
+		p.mu.Unlock()
+		return NewScratch()
+	}
+	s := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	p.mu.Unlock()
+	return s
+}
+
+// Put resets s and makes it available for reuse. s must not be used after.
+func (p *Pool) Put(s *Scratch) {
+	if p == nil || s == nil {
+		return
+	}
+	s.In.Reset()
+	s.Memo.Reset(0)
+	p.mu.Lock()
+	p.free = append(p.free, s)
+	p.mu.Unlock()
+}

@@ -1,0 +1,95 @@
+package stateset
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/spec"
+)
+
+// TestInternerReset checks that a reset table forgets everything (ids are
+// reissued from zero, stale entries never match) while keeping capacity.
+func TestInternerReset(t *testing.T) {
+	in := NewInterner()
+	reg := spec.Register(0)
+	var ids []uint32
+	st := reg.Init()
+	for i := 0; i < 100; i++ {
+		next, _, _ := st.Apply(spec.Operation{Method: spec.MethodWrite, Arg: int64(i), Uniq: uint64(i + 1)})
+		id, fresh := in.Intern(next)
+		if !fresh {
+			t.Fatalf("state %d: expected fresh id", i)
+		}
+		ids = append(ids, id)
+		st = next
+	}
+	if in.Len() != 100 {
+		t.Fatalf("Len=%d, want 100", in.Len())
+	}
+	capBefore := len(in.table)
+	in.Reset()
+	if in.Len() != 0 {
+		t.Fatalf("Len=%d after Reset, want 0", in.Len())
+	}
+	if len(in.table) != capBefore {
+		t.Fatalf("Reset changed table capacity %d -> %d", capBefore, len(in.table))
+	}
+	// Re-interning after a reset issues dense ids from zero again.
+	id, fresh := in.Intern(reg.Init())
+	if !fresh || id != 0 {
+		t.Fatalf("post-reset intern: id=%d fresh=%v, want 0,true", id, fresh)
+	}
+	_ = ids
+}
+
+// TestPoolReuse checks Get/Put recycling, nil-pool fallbacks, and that a
+// recycled scratch arrives empty.
+func TestPoolReuse(t *testing.T) {
+	var p Pool
+	s1 := p.Get()
+	reg := spec.Register(0).Init()
+	s1.In.Intern(reg)
+	s1.Memo.Reset(1)
+	s1.Memo.Insert([]uint64{1}, 0)
+	p.Put(s1)
+	s2 := p.Get()
+	if s2 != s1 {
+		t.Fatal("pool did not recycle the released scratch")
+	}
+	if s2.In.Len() != 0 || s2.Memo.Len() != 0 {
+		t.Fatalf("recycled scratch not empty: interner=%d memo=%d", s2.In.Len(), s2.Memo.Len())
+	}
+	s2.Memo.Reset(1)
+	if !s2.Memo.Insert([]uint64{1}, 0) {
+		t.Fatal("recycled memo remembered a pre-recycle configuration")
+	}
+	var nilPool *Pool
+	if s := nilPool.Get(); s == nil || s.In == nil || s.Memo == nil {
+		t.Fatal("nil pool Get must allocate")
+	}
+	nilPool.Put(s2) // must not panic
+}
+
+// TestPoolConcurrent hammers Get/Put from many goroutines under -race.
+func TestPoolConcurrent(t *testing.T) {
+	var p Pool
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			st := spec.Counter().Init()
+			for i := 0; i < 200; i++ {
+				s := p.Get()
+				if id, _ := s.In.Intern(st); id != 0 {
+					t.Errorf("goroutine %d: scratch not empty (id %d)", g, id)
+					return
+				}
+				s.Memo.Reset(1)
+				s.Memo.Insert([]uint64{uint64(i)}, 0)
+				p.Put(s)
+			}
+		}(g)
+	}
+	wg.Wait()
+}

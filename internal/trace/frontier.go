@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// FrontierRounds builds the frontier fan-out workload behind the B11
+// "frontier" benchmark family and the parallel-engine equivalence and race
+// tests: a queue stream over 7 processes, delivered as bursts (one Append
+// each), that repeatedly (a) creates an ambiguous quiescent cut and then
+// (b) resolves it with a burst that only one frontier state can explain.
+//
+// Each round has two bursts:
+//
+//   - ambiguity: processes 1–3 enqueue three values fully concurrently and
+//     all return. At the quiescent cut the exact frontier is all 3! = 6
+//     interleavings — six live states for the next segment check.
+//
+//   - reveal: process 0 opens a spanner enqueue that stays pending for the
+//     whole burst (so no interior quiescent cut commits mid-burst), processes
+//     2–6 open five concurrent enqueues, and process 1 sequentially dequeues
+//     the three ambiguity values in a fixed reveal order. Only the frontier
+//     state matching that order linearizes the burst; every other state must
+//     exhaust a search over the five-pending-enqueue permutation space (~2k
+//     configurations each) before it refutes — the independent, expensive
+//     per-state work the parallel engine fans out. The burst then drains the
+//     queue in a pinned order (process 1 dequeues the five values and the
+//     spanner), so the surviving frontier collapses back to the single empty
+//     state and retention garbage-collects the round.
+//
+// revealFirst picks which frontier state survives: false reveals the reverse
+// of invocation order, which the search enumerates late — the sequential
+// engine pays for every refutation before finding the witness (the fan-out
+// speedup case); true reveals the invocation order itself, which is
+// enumerated first — the parallel engine's witness lands immediately and
+// cancels the five still-running refutations (the early-cancel case).
+func FrontierRounds(rounds int, revealFirst bool) []history.History {
+	const procs = 7
+	var bursts []history.History
+	var id uint64
+	enqOp := func(v int64) spec.Operation {
+		id++
+		return spec.Operation{Method: spec.MethodEnq, Arg: v, Uniq: id}
+	}
+	deqOp := func() spec.Operation {
+		id++
+		return spec.Operation{Method: spec.MethodDeq, Uniq: id}
+	}
+	inv := func(b *history.History, p int, op spec.Operation) {
+		*b = append(*b, history.Event{Kind: history.Invoke, Proc: p, ID: op.Uniq, Op: op})
+	}
+	ret := func(b *history.History, p int, op spec.Operation, res spec.Response) {
+		*b = append(*b, history.Event{Kind: history.Return, Proc: p, ID: op.Uniq, Op: op, Res: res})
+	}
+	for r := 0; r < rounds; r++ {
+		base := int64(r+1) * 100
+
+		// Ambiguity burst: three fully concurrent enqueues on procs 1-3.
+		var amb history.History
+		a := [3]int64{base + 1, base + 2, base + 3}
+		var aOps [3]spec.Operation
+		for i := 0; i < 3; i++ {
+			aOps[i] = enqOp(a[i])
+			inv(&amb, 1+i, aOps[i])
+		}
+		for i := 0; i < 3; i++ {
+			ret(&amb, 1+i, aOps[i], spec.OKResp())
+		}
+		bursts = append(bursts, amb)
+
+		// Reveal burst. The spanner (proc 0) brackets everything.
+		var rev history.History
+		spanner := enqOp(base + 50)
+		inv(&rev, 0, spanner)
+		b := [5]int64{base + 11, base + 12, base + 13, base + 14, base + 15}
+		var bOps [5]spec.Operation
+		for i := 0; i < 5; i++ {
+			bOps[i] = enqOp(b[i])
+			inv(&rev, 2+i, bOps[i])
+		}
+		// Sequential dequeues of the ambiguity values in the reveal order pin
+		// exactly one of the six frontier states.
+		order := [3]int64{a[2], a[1], a[0]}
+		if revealFirst {
+			order = [3]int64{a[0], a[1], a[2]}
+		}
+		for _, v := range order {
+			op := deqOp()
+			inv(&rev, 1, op)
+			ret(&rev, 1, op, spec.ValueResp(v))
+		}
+		for i := 0; i < 5; i++ {
+			ret(&rev, 2+i, bOps[i], spec.OKResp())
+		}
+		// Drain in invocation order, spanner last, so the cut at the end of
+		// the burst has the single empty-queue state. Invocation order keeps
+		// the accepting search greedy (the candidate list already agrees with
+		// the drain), so the round's cost concentrates in the five wrong-state
+		// refutations — the work the parallel engine exists to overlap.
+		for i := 0; i < 5; i++ {
+			op := deqOp()
+			inv(&rev, 1, op)
+			ret(&rev, 1, op, spec.ValueResp(b[i]))
+		}
+		op := deqOp()
+		inv(&rev, 1, op)
+		ret(&rev, 1, op, spec.ValueResp(base+50))
+		ret(&rev, 0, spanner, spec.OKResp())
+		bursts = append(bursts, rev)
+	}
+	return bursts
+}
