@@ -525,6 +525,80 @@ func TestSoakRetentionB9(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// B12: commit-point-order cuts — memory stays O(window) even on a stream
+// that never globally quiesces, where quiescent-cut retention (B9's
+// mechanism) provably never finds a cut and degrades to unbounded growth
+// ---------------------------------------------------------------------------
+
+// BenchmarkCommitCutSoak streams the never-quiescent workload through the
+// bounded monitor with commit-point cuts and through the degradation
+// control (same policy, quiescent cuts only). ns/op covers the whole
+// stream; retained-events-max is the point: flat under commit cuts, equal
+// to the stream length without them.
+func BenchmarkCommitCutSoak(b *testing.B) {
+	const ops = 20000
+	for _, m := range soak.B12Models() {
+		for _, commitCuts := range []bool{true, false} {
+			name := fmt.Sprintf("%s/commitcuts=%v", m.Name(), commitCuts)
+			b.Run(name, func(b *testing.B) {
+				maxRetained := 0
+				for i := 0; i < b.N; i++ {
+					r := soak.RunNeverQuiescent(m, ops, 1, soakPolicy, commitCuts)
+					if !r.Yes || r.DivergedAt >= 0 {
+						b.Fatalf("soak failed: %+v", r)
+					}
+					maxRetained = r.MaxRetained
+				}
+				b.ReportMetric(float64(maxRetained), "retained-events-max")
+			})
+		}
+	}
+}
+
+// TestSoakNeverQuiescentB12 is the B12 acceptance check: on a >=100k-op
+// stream with no globally quiescent point, the commit-point-cut monitor's
+// window is bounded by the policy while its verdicts match the unbounded
+// monitor's at every burst, for every strongly-ordered model; the
+// quiescent-cut control on the same stream retains everything. Reduced
+// under -short; the CI perf gate runs the same body (internal/soak) at
+// reduced scale via cmd/perfgate.
+func TestSoakNeverQuiescentB12(t *testing.T) {
+	ops := 100_000
+	if testing.Short() {
+		ops = 20_000
+	}
+	for _, m := range soak.B12Models() {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			r := soak.RunNeverQuiescent(m, ops, 1, soakPolicy, true)
+			if r.DivergedAt >= 0 {
+				t.Fatalf("verdicts diverged from the unbounded oracle at burst %d", r.DivergedAt)
+			}
+			if !r.Yes {
+				t.Fatal("correct stream refuted")
+			}
+			if r.MaxRetained > r.Bound {
+				t.Fatalf("retained window high-water %d events exceeds bound %d (stream %d events)",
+					r.MaxRetained, r.Bound, r.Events)
+			}
+			if r.CommitCuts == 0 || r.CarriedOps == 0 {
+				t.Fatalf("commit cuts did not engage: %+v", r)
+			}
+			if r.Discarded+r.Retained != r.Events {
+				t.Fatalf("event accounting broken: discarded %d + retained %d != %d",
+					r.Discarded, r.Retained, r.Events)
+			}
+			// The degradation control at reduced scale: no quiescent point,
+			// no GC, window == stream.
+			c := soak.RunNeverQuiescent(m, ops/10, 1, soakPolicy, false)
+			if c.Discarded != 0 || c.MaxRetained != c.Events {
+				t.Fatalf("quiescent-only control unexpectedly collected: %+v", c)
+			}
+		})
+	}
+}
+
 // BenchmarkFirstViolation measures the witness-localisation cost.
 func BenchmarkFirstViolation(b *testing.B) {
 	h := trace.RandomLinearizable(spec.Queue(), 3, 3, 64)

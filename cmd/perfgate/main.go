@@ -33,10 +33,26 @@
 //     fewer than 4 CPUs, where the ratio measures the scheduler, not the
 //     pool.
 //
+//   - B12 commit-point-cut gate: the never-quiescent soak (internal/soak
+//     RunNeverQuiescent, the body behind TestSoakNeverQuiescentB12) at
+//     reduced scale. CI fails if the commit-point-cut monitor's retained
+//     window exceeds the policy bound, if its verdicts diverge from the
+//     unbounded monitor's, or if the degradation control (same stream,
+//     quiescent cuts only) unexpectedly stays bounded — which would mean
+//     the workload stopped demonstrating the hole the gate guards.
+//
+// Every gate verdict is also emitted as a uniform {gate, status, value,
+// bound} entry in the JSON (status pass|fail|skip), so the benchmark-
+// trajectory tooling can diff runs across PRs without parsing ad-hoc keys,
+// and each gate has a distinct process exit code (B8=2, B9=3, B10=4, B11=5,
+// B12=6; setup failures exit 1) so CI logs identify the tripped gate from
+// the exit status alone. With several failures the first tripped gate's
+// code wins.
+//
 // Usage:
 //
 //	perfgate                    # all gates, JSON to BENCH_perf_smoke.json
-//	perfgate -ops 1024 -soakops 20000 -out path.json
+//	perfgate -ops 1024 -soakops 20000 -b12ops 20000 -out path.json
 //	perfgate -baseline -out BENCH_PR3.json   # refresh the committed trajectory
 //	                                         # record (reference host only)
 package main
@@ -56,6 +72,27 @@ import (
 	"repro/internal/soak"
 	"repro/internal/spec"
 )
+
+// Distinct exit codes so CI logs identify the tripped gate without parsing
+// output. Setup failures (a refuted workload, a failed write) exit 1.
+const (
+	exitOK    = 0
+	exitSetup = 1
+	exitB8    = 2
+	exitB9    = 3
+	exitB10   = 4
+	exitB11   = 5
+	exitB12   = 6
+)
+
+// gateEntry is the uniform per-gate record in the BENCH JSON: one entry per
+// gate (per workload for multi-workload gates), status pass|fail|skip.
+type gateEntry struct {
+	Gate   string  `json:"gate"`
+	Status string  `json:"status"`
+	Value  float64 `json:"value"`
+	Bound  float64 `json:"bound"`
+}
 
 // b10Workload is one dense-workload measurement of the B10 allocation gate.
 type b10Workload struct {
@@ -84,7 +121,14 @@ type result struct {
 	B11Workers4Ns  int64         `json:"b11_workers4_ns,omitempty"`
 	B11Scale       float64       `json:"b11_scale_4v1,omitempty"`
 	B11MinScale    float64       `json:"b11_min_scale"`
-	B11Skipped     bool          `json:"b11_skipped,omitempty"`
+	B12Ops         int           `json:"b12_ops"`
+	B12RetainedHW  int           `json:"b12_retained_events_max"`
+	B12Bound       int           `json:"b12_retained_events_bound"`
+	B12CommitCuts  int           `json:"b12_commit_cuts"`
+	B12CarriedOps  int           `json:"b12_carried_ops"`
+	B12ControlHW   int           `json:"b12_control_retained_events_max"`
+	B12Ns          int64         `json:"b12_ns"`
+	Gates          []gateEntry   `json:"gates"`
 	Pass           bool          `json:"pass"`
 }
 
@@ -106,6 +150,7 @@ func main() {
 func run() int {
 	ops := flag.Int("ops", 1024, "published operations for the B8 ratio gate")
 	soakOps := flag.Int("soakops", 20000, "published operations for the B9 soak gate")
+	b12Ops := flag.Int("b12ops", 20000, "operations for the B12 never-quiescent commit-point-cut gate")
 	minRatio := flag.Float64("minratio", 100, "minimum incremental-vs-fullrecheck speedup")
 	maxAllocs := flag.Int64("maxallocs", 400, "maximum allocs/op for the B10 checker gate")
 	minScale := flag.Float64("minscale", 1.5, "minimum 4-worker-vs-1 speedup for the B11 parallel gate (auto-skip below 4 CPUs)")
@@ -118,6 +163,16 @@ func run() int {
 	obj := genlin.Linearizability(m)
 	res := result{Ops: *ops, SoakOps: *soakOps, MinRatio: *minRatio}
 	ok := true
+	failCode := exitOK
+	gate := func(name, status string, value, bound float64, code int) {
+		res.Gates = append(res.Gates, gateEntry{Gate: name, Status: status, Value: value, Bound: bound})
+		if status == "fail" {
+			ok = false
+			if failCode == exitOK {
+				failCode = code
+			}
+		}
+	}
 
 	// --- B8 ratio gate -----------------------------------------------------
 	tuples := soak.Publish(m, procs, *ops)
@@ -126,11 +181,11 @@ func run() int {
 		x, err := core.BuildHistory(tuples[:k], procs)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "full recheck: %v\n", err)
-			return 1
+			return exitSetup
 		}
 		if !obj.Contains(x) {
 			fmt.Fprintln(os.Stderr, "full recheck refuted a correct stream")
-			return 1
+			return exitSetup
 		}
 	}
 	res.FullNs = time.Since(start).Nanoseconds()
@@ -141,7 +196,7 @@ func run() int {
 		iv.IngestTuples(tuples[k : k+1])
 		if iv.Verdict() != check.Yes {
 			fmt.Fprintln(os.Stderr, "incremental pipeline refuted a correct stream")
-			return 1
+			return exitSetup
 		}
 	}
 	res.IncNs = time.Since(start).Nanoseconds()
@@ -152,7 +207,9 @@ func run() int {
 		*ops, time.Duration(res.FullNs), time.Duration(res.IncNs), res.Ratio, *minRatio)
 	if res.Ratio < *minRatio {
 		fmt.Fprintf(os.Stderr, "FAIL: B8 speedup ratio %.1fx below the %.0fx gate\n", res.Ratio, *minRatio)
-		ok = false
+		gate("b8", "fail", res.Ratio, *minRatio, exitB8)
+	} else {
+		gate("b8", "pass", res.Ratio, *minRatio, exitB8)
 	}
 
 	// --- B9 soak gate ------------------------------------------------------
@@ -168,14 +225,16 @@ func run() int {
 	switch {
 	case sr.DivergedAt >= 0:
 		fmt.Fprintf(os.Stderr, "FAIL: B9 verdicts diverged from the unbounded oracle at op %d\n", sr.DivergedAt)
-		ok = false
+		gate("b9", "fail", float64(sr.MaxRetained), float64(sr.Bound), exitB9)
 	case !sr.Yes:
 		fmt.Fprintln(os.Stderr, "FAIL: B9 correct stream refuted")
-		ok = false
+		gate("b9", "fail", float64(sr.MaxRetained), float64(sr.Bound), exitB9)
 	case sr.MaxRetained > sr.Bound:
 		fmt.Fprintf(os.Stderr, "FAIL: retained window %d events exceeds the %d bound — memory is O(history) again\n",
 			sr.MaxRetained, sr.Bound)
-		ok = false
+		gate("b9", "fail", float64(sr.MaxRetained), float64(sr.Bound), exitB9)
+	default:
+		gate("b9", "pass", float64(sr.MaxRetained), float64(sr.Bound), exitB9)
 	}
 
 	// --- B10 allocation gate -----------------------------------------------
@@ -190,7 +249,7 @@ func run() int {
 			// under the gate.
 			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d: checker refuted a linearizable history\n",
 				w.Model.Name(), w.Ops)
-			return 1
+			return exitSetup
 		}
 		br := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -201,7 +260,7 @@ func run() int {
 		if br.N == 0 || br.AllocsPerOp() == 0 {
 			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d produced no measurement (N=%d)\n",
 				w.Model.Name(), w.Ops, br.N)
-			return 1
+			return exitSetup
 		}
 		bw := b10Workload{
 			Model:     w.Model.Name(),
@@ -217,10 +276,13 @@ func run() int {
 		res.B10 = append(res.B10, bw)
 		fmt.Printf("B10 gate: %s/ops=%d %d ns/op %d allocs/op %d B/op (max %d allocs/op)\n",
 			bw.Model, bw.Ops, bw.NsPerOp, bw.AllocsOp, bw.BytesOp, *maxAllocs)
+		b10Name := fmt.Sprintf("b10:%s/%d", bw.Model, bw.Ops)
 		if bw.AllocsOp > *maxAllocs {
 			fmt.Fprintf(os.Stderr, "FAIL: B10 %s/ops=%d allocates %d/op, above the %d gate — the search core regressed\n",
 				bw.Model, bw.Ops, bw.AllocsOp, *maxAllocs)
-			ok = false
+			gate(b10Name, "fail", float64(bw.AllocsOp), float64(*maxAllocs), exitB10)
+		} else {
+			gate(b10Name, "pass", float64(bw.AllocsOp), float64(*maxAllocs), exitB10)
 		}
 	}
 
@@ -232,7 +294,7 @@ func run() int {
 	// equivalence and race suites still cover correctness there.
 	res.B11MinScale = *minScale
 	if runtime.NumCPU() < 4 {
-		res.B11Skipped = true
+		gate("b11", "skip", 0, *minScale, exitB11)
 		fmt.Printf("B11 gate: skipped (%d CPUs < 4; scaling is only meaningful with free cores)\n", runtime.NumCPU())
 	} else {
 		s := soak.B11Specs()[0] // the dense queue shard set
@@ -254,7 +316,7 @@ func run() int {
 		t4, ok4 := measure(4)
 		if !ok1 || !ok4 {
 			fmt.Fprintln(os.Stderr, "FAIL: B11 shard check refuted a linearizable history")
-			return 1
+			return exitSetup
 		}
 		res.B11Workers1Ns, res.B11Workers4Ns = t1, t4
 		if t4 > 0 {
@@ -265,8 +327,56 @@ func run() int {
 		if res.B11Scale < *minScale {
 			fmt.Fprintf(os.Stderr, "FAIL: B11 parallel speedup %.2fx below the %.2fx gate — the worker pool stopped scaling\n",
 				res.B11Scale, *minScale)
-			ok = false
+			gate("b11", "fail", res.B11Scale, *minScale, exitB11)
+		} else {
+			gate("b11", "pass", res.B11Scale, *minScale, exitB11)
 		}
+	}
+
+	// --- B12 commit-point-cut gate ------------------------------------------
+	// The never-quiescent soak (internal/soak, the body behind
+	// TestSoakNeverQuiescentB12) at reduced scale: the commit-point-cut
+	// monitor must hold a flat, policy-bounded window and stay verdict-
+	// identical to the unbounded oracle, while the quiescent-only control on
+	// the same (further reduced) stream must demonstrably degrade — if it
+	// stops degrading, the workload no longer tests the hole and the gate is
+	// lying.
+	b12Policy := check.RetentionPolicy{GCBatch: 64}
+	start = time.Now()
+	br12 := soak.RunNeverQuiescent(spec.Queue(), *b12Ops, 1, b12Policy, true)
+	res.B12Ns = time.Since(start).Nanoseconds()
+	res.B12Ops = *b12Ops
+	res.B12RetainedHW = br12.MaxRetained
+	res.B12Bound = br12.Bound
+	res.B12CommitCuts = br12.CommitCuts
+	res.B12CarriedOps = br12.CarriedOps
+	fmt.Printf("B12 gate: never-quiescent ops=%d retained-events-max=%d (bound %d) commit-cuts=%d carried=%d in %v\n",
+		*b12Ops, br12.MaxRetained, br12.Bound, br12.CommitCuts, br12.CarriedOps, time.Duration(res.B12Ns))
+	switch {
+	case br12.DivergedAt >= 0:
+		fmt.Fprintf(os.Stderr, "FAIL: B12 verdicts diverged from the unbounded oracle at burst %d\n", br12.DivergedAt)
+		gate("b12", "fail", float64(br12.MaxRetained), float64(br12.Bound), exitB12)
+	case !br12.Yes:
+		fmt.Fprintln(os.Stderr, "FAIL: B12 correct never-quiescent stream refuted")
+		gate("b12", "fail", float64(br12.MaxRetained), float64(br12.Bound), exitB12)
+	case br12.CommitCuts == 0:
+		fmt.Fprintln(os.Stderr, "FAIL: B12 commit-point cuts never fired on the never-quiescent stream")
+		gate("b12", "fail", float64(br12.MaxRetained), float64(br12.Bound), exitB12)
+	case br12.MaxRetained > br12.Bound:
+		fmt.Fprintf(os.Stderr, "FAIL: B12 retained window %d events exceeds the %d bound — never-quiescent retention degraded again\n",
+			br12.MaxRetained, br12.Bound)
+		gate("b12", "fail", float64(br12.MaxRetained), float64(br12.Bound), exitB12)
+	default:
+		gate("b12", "pass", float64(br12.MaxRetained), float64(br12.Bound), exitB12)
+	}
+	ctl := soak.RunNeverQuiescent(spec.Queue(), *b12Ops/4, 1, b12Policy, false)
+	res.B12ControlHW = ctl.MaxRetained
+	fmt.Printf("B12 control: quiescent-only retained-events-max=%d of %d events\n", ctl.MaxRetained, ctl.Events)
+	if ctl.MaxRetained < ctl.Events {
+		fmt.Fprintln(os.Stderr, "FAIL: B12 control collected on a never-quiescent stream — the workload stopped demonstrating the degradation")
+		gate("b12-control", "fail", float64(ctl.MaxRetained), float64(ctl.Events), exitB12)
+	} else {
+		gate("b12-control", "pass", float64(ctl.MaxRetained), float64(ctl.Events), exitB12)
 	}
 
 	res.Pass = ok
@@ -277,13 +387,13 @@ func run() int {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
-			return 1
+			return exitSetup
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if !ok {
-		return 1
+		return failCode
 	}
 	fmt.Println("perf gates passed")
-	return 0
+	return exitOK
 }

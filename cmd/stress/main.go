@@ -46,6 +46,7 @@ func run() int {
 	verifiers := flag.Int("verifiers", 3, "decoupled verifier goroutines (1 dispatcher + scanners)")
 	fullrecheck := flag.Bool("fullrecheck", false, "decoupled: use the paper-literal whole-history re-check loop")
 	retain := flag.Bool("retain", false, "decoupled: bounded-memory retention (GC committed prefixes behind the frontier)")
+	commitcuts := flag.Bool("commitcuts", false, "retention: commit-point-order cuts for strongly-ordered models (queue, stack, pqueue) — retention stays bounded on streams that never quiesce")
 	workers := flag.Int("workers", 1, "decoupled: parallel segment-search workers inside the monitor (requires -decoupled -retain; incompatible with -fullrecheck)")
 	gcbatch := flag.Int("gcbatch", 0, "retention: GC batch size in events (0 = default)")
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
@@ -126,11 +127,15 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-workers > 1 requires -retain (only the exact multi-state frontier of the retention mode has independent states to fan out across)")
 		return 2
 	}
+	if *commitcuts && !*retain {
+		fmt.Fprintln(os.Stderr, "-commitcuts requires -retain (commit-point cuts are a retention discipline)")
+		return 2
+	}
 	if *decoupled {
 		cfg := decoupledCfg{
 			fault: *fault, rate: *rate, procs: *procs, ops: *ops, seeds: *seeds,
 			verifiers: *verifiers, fullrecheck: *fullrecheck,
-			retain: *retain, workers: *workers, gcbatch: *gcbatch, report: *report,
+			retain: *retain, commitcuts: *commitcuts, workers: *workers, gcbatch: *gcbatch, report: *report,
 		}
 		return runDecoupled(m, obj, mode, cfg)
 	}
@@ -198,6 +203,7 @@ type decoupledCfg struct {
 	verifiers   int
 	fullrecheck bool
 	retain      bool
+	commitcuts  bool
 	workers     int
 	gcbatch     int
 	report      time.Duration
@@ -225,7 +231,8 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 			opts = append(opts, core.WithFullRecheck())
 		}
 		if cfg.retain {
-			opts = append(opts, core.WithDecoupledRetention(check.RetentionPolicy{GCBatch: cfg.gcbatch}))
+			opts = append(opts, core.WithDecoupledRetention(check.RetentionPolicy{
+				GCBatch: cfg.gcbatch, CommitCuts: cfg.commitcuts}))
 		}
 		if cfg.workers > 1 {
 			opts = append(opts, core.WithDecoupledParallelism(cfg.workers))
@@ -305,8 +312,8 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v workers=%d\n",
-		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.workers)
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v commitcuts=%v workers=%d\n",
+		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.commitcuts, cfg.workers)
 	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
@@ -317,6 +324,10 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 			agg.Verify.Check.GCRuns, agg.Verify.Check.DiscardedEvents, agg.Verify.Check.RetainedEvents,
 			agg.Verify.DiscardedTuples, agg.Verify.RetainedTuples, agg.Verify.Deferrals,
 			agg.ResultNodesReleased, agg.Verify.AnnNodesReleased)
+	}
+	if cfg.commitcuts {
+		fmt.Printf("commit cuts: cuts=%d carried-ops=%d (0 is expected when every burst quiesces or the model is not strongly ordered)\n",
+			agg.Verify.Check.CommitCuts, agg.Verify.Check.CarriedOps)
 	}
 	if cfg.workers > 1 {
 		// Scheduling-dependent diagnostics (check.WorkerStat): which slot did

@@ -34,10 +34,15 @@ import (
 //     run on the full retained history, so the final verdict is exactly that
 //     of IsLinearizable on the whole history.
 //
-// The frontier only advances at quiescent cuts: points where no operation is
-// pending and the history so far is linearizable. Cutting anywhere else would
-// be unsound (a pending operation may have to linearize before already-seen
-// operations). In the default full-witness mode the frontier is the single
+// The frontier advances at quiescent cuts: points where no operation is
+// pending and the history so far is linearizable. Cutting at an arbitrary
+// point would be unsound (a pending operation may have to linearize before
+// already-seen operations); under WithRetention, strongly-ordered models can
+// additionally opt in to commit-point-order cuts (RetentionPolicy.CommitCuts,
+// commitcut.go), which commit through points straddled only by pending
+// producers whose commit position provably lies behind the cut — bounding
+// retention even on streams that never globally quiesce. In the default
+// full-witness mode the frontier is the single
 // state reached by the discovered witness — possibly the wrong choice, which
 // the fallback repairs — and the whole history is retained forever.
 //
@@ -68,7 +73,12 @@ type Incremental struct {
 	searches []*segSearch // persistent segment search per frontier state
 	dead     []bool       // retention: frontier states that exactly refuted the segment
 
-	marks []cutMark // retention: recent cuts eligible as GC points
+	marks        []cutMark     // retention: recent cuts eligible as GC points
+	planner      *cutPlanner   // commit-point cuts; nil unless retaining a StronglyOrdered model with CommitCuts
+	baseResident map[int64]int // planner residency at the GC base, for window reloads
+
+	respDropped int   // response events released by GC, cumulative
+	invDropped  []int // invocation events released by GC, per process, cumulative
 
 	pendingOp map[int]uint64 // proc -> id of its open invocation
 	seenIDs   map[uint64]struct{}
@@ -78,8 +88,9 @@ type Incremental struct {
 	stats   IncStats
 }
 
-// cutMark remembers a quiescent cut and its exact state set so GC can honour
-// RetentionPolicy.KeepEvents by cutting at an earlier frontier.
+// cutMark remembers a cut (quiescent or commit-point) and its exact state
+// set so GC can honour RetentionPolicy.KeepEvents by cutting at an earlier
+// frontier.
 type cutMark struct {
 	idx    int // index into h
 	states []spec.State
@@ -116,6 +127,15 @@ type RetentionPolicy struct {
 	StateBudget int
 	// MaxFrontierStates caps the size of the exact frontier set. Default 16.
 	MaxFrontierStates int
+	// CommitCuts opts strongly-ordered models (spec.StronglyOrdered: queue,
+	// stack, priority queue) in to commit-point-order cuts: the monitor may
+	// commit a prefix at a point straddled only by unpinned producer
+	// operations, carrying their invocations into the segment, so retention
+	// stays bounded on streams that never globally quiesce (see
+	// commitcut.go for the cut rule and its exactness argument). Ignored —
+	// today's quiescent-cut-only behaviour — for models without the
+	// capability. Default false.
+	CommitCuts bool
 }
 
 func (p RetentionPolicy) withDefaults() RetentionPolicy {
@@ -192,6 +212,8 @@ type IncStats struct {
 	GCRuns            int   // garbage collections performed
 	DiscardedEvents   int   // events released by GC, cumulative
 	FrontierOverflows int   // cuts skipped: exact frontier set over budget
+	CommitCuts        int   // commit-point-order cuts committed (strongly-ordered models)
+	CarriedOps        int   // producer invocations restaged across commit cuts, cumulative
 	RetainedEvents    int   // events currently held (gauge)
 	RetainedBytes     int64 // approximate bytes of retained events (gauge)
 	FrontierStates    int   // current size of the frontier state set (gauge)
@@ -214,6 +236,11 @@ func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	}
 	if inc.retain {
 		inc.dead = make([]bool, 1)
+		if inc.policy.CommitCuts {
+			if so, ok := m.(spec.StronglyOrdered); ok {
+				inc.planner = newCutPlanner(so, commitCutStride(inc.policy))
+			}
+		}
 	}
 	inc.stats.FrontierStates = 1
 	return inc
@@ -252,8 +279,13 @@ func (inc *Incremental) Append(delta history.History) Verdict {
 		}
 		inc.h = append(inc.h, e)
 		inc.stats.Events++
+		if inc.planner != nil {
+			inc.planner.track(e)
+		}
 		if len(inc.pendingOp) == 0 {
 			inc.cuts = append(inc.cuts, len(inc.h))
+		} else if inc.planner != nil {
+			inc.planner.maybeCandidate(len(inc.h))
 		}
 	}
 	if inc.checkSegment() {
@@ -437,7 +469,7 @@ func (inc *Incremental) resetFrontier(states []spec.State) {
 // last boundary.
 func (inc *Incremental) advanceCuts() {
 	n := len(inc.cuts)
-	if n == 0 {
+	if n == 0 && inc.planner == nil {
 		return
 	}
 	if !inc.retain {
@@ -473,6 +505,13 @@ func (inc *Incremental) advanceCuts() {
 			return
 		}
 	}
+	// Quiescent boundaries exhausted. On a stream that never quiesces the
+	// loop above was a no-op; strongly-ordered models then fall through to
+	// commit-point cuts (commitcut.go), which can commit through positions
+	// straddled by unpinned producers.
+	if inc.planner != nil {
+		inc.advanceCommitCuts()
+	}
 }
 
 // compactTo advances the committed frontier to end, a quiescent cut of the
@@ -492,15 +531,30 @@ func (inc *Incremental) compactTo(end int) {
 		}
 		return
 	}
-	piece := inc.h[inc.cutIdx:end]
+	next, ok := inc.enumerateFrontier(inc.h[inc.cutIdx:end], end == len(inc.h))
+	if !ok {
+		return // keep the old cut; retry at the next quiescent point
+	}
+	inc.installFrontier(end, next)
+	inc.marks = append(inc.marks, cutMark{idx: inc.cutIdx, states: next})
+	inc.gc()
+}
+
+// enumerateFrontier computes the exact state set a committed frontier
+// reaches through piece, a quiescent slice of the retained history (every
+// operation in it complete — commit-point cuts filter their carried
+// invocations out first). ok is false when any state's enumeration exceeds
+// StateBudget or the merged set exceeds MaxFrontierStates; the caller then
+// keeps the old cut.
+//
+// A dead state exactly refuted the whole segment, so when the piece covers
+// the segment (wholeSegment) its contribution is provably empty and the
+// enumeration can be skipped. At an interior cut the piece is a proper
+// prefix of the segment, which the dead state may still linearize — its
+// reachable states belong in the exact set (the refutation only constrains
+// what the suffix can extend).
+func (inc *Incremental) enumerateFrontier(piece history.History, wholeSegment bool) ([]spec.State, bool) {
 	budget := inc.policy.StateBudget
-	// A dead state exactly refuted the whole segment, so when the piece IS
-	// the segment its contribution is provably empty and the enumeration can
-	// be skipped. At an interior cut the piece is a proper prefix of the
-	// segment, which the dead state may still linearize — its reachable
-	// states belong in the exact set (the refutation only constrains what
-	// the suffix can extend).
-	wholeSegment := end == len(inc.h)
 	idxs := make([]int, 0, len(inc.frontier))
 	for i := range inc.frontier {
 		if wholeSegment && inc.dead[i] {
@@ -538,7 +592,7 @@ func (inc *Incremental) compactTo(end int) {
 		}
 		if !ok {
 			inc.stats.FrontierOverflows++
-			return // keep the old cut; retry at the next quiescent point
+			return nil, false
 		}
 		for _, f := range finals {
 			if _, fresh := seen.Intern(f); !fresh {
@@ -548,18 +602,23 @@ func (inc *Incremental) compactTo(end int) {
 		}
 		if len(next) > inc.policy.MaxFrontierStates {
 			inc.stats.FrontierOverflows++
-			return
+			return nil, false
 		}
 	}
+	return next, true
+}
+
+// installFrontier commits the frontier at cut with the given exact state
+// set, dropping the per-state searches (the next segment check rebuilds them
+// over the shrunk segment). Retention-mode cuts only.
+func (inc *Incremental) installFrontier(cut int, states []spec.State) {
 	inc.releaseSearches()
-	inc.cutIdx = end
-	inc.frontier = next
-	inc.searches = make([]*segSearch, len(next))
-	inc.dead = make([]bool, len(next))
+	inc.cutIdx = cut
+	inc.frontier = states
+	inc.searches = make([]*segSearch, len(states))
+	inc.dead = make([]bool, len(states))
 	inc.stats.Compactions++
-	inc.stats.FrontierStates = len(next)
-	inc.marks = append(inc.marks, cutMark{idx: inc.cutIdx, states: next})
-	inc.gc()
+	inc.stats.FrontierStates = len(states)
 }
 
 // compactWitness folds the witness of the piece up to end into a single
@@ -610,8 +669,23 @@ func (inc *Incremental) gc() {
 		return
 	}
 	for _, e := range inc.h[:m.idx] {
+		if inc.planner != nil && e.Kind == history.Return {
+			delete(inc.planner.void, e.ID)
+		}
 		if e.Kind == history.Invoke {
+			// Carried producer invocations are never here: commit cuts splice
+			// them past the mark before the collector can reach them, so a
+			// pending operation's id (and duplicate detection for it) always
+			// survives GC.
 			delete(inc.seenIDs, e.ID)
+			if e.Proc >= 0 {
+				for e.Proc >= len(inc.invDropped) {
+					inc.invDropped = append(inc.invDropped, 0)
+				}
+				inc.invDropped[e.Proc]++
+			}
+		} else {
+			inc.respDropped++
 		}
 	}
 	inc.h = inc.h[m.idx:] // appends reallocate at O(window), releasing the prefix
@@ -624,6 +698,15 @@ func (inc *Incremental) gc() {
 		}
 	}
 	inc.cuts = kept
+	if inc.planner != nil {
+		inc.planner.shift(m.idx)
+		// Residency AT the horizon, not at GC time: the planner's totals
+		// include everything tracked since, so the kept window's
+		// contribution is reversed back out. Snapshotting the totals
+		// instead would make a later window reload re-seed the wrong
+		// multiset and diverge from the continuous Append path.
+		inc.baseResident = inc.planner.residencyBefore(inc.h)
+	}
 	inc.base = m.states
 	for i := range inc.marks {
 		inc.marks[i].idx -= m.idx
@@ -646,6 +729,14 @@ func (inc *Incremental) gauges() {
 func (inc *Incremental) Reset(h history.History) Verdict {
 	inc.hBase = 0
 	inc.base = nil
+	inc.baseResident = nil
+	// The per-kind discard counters rewind with the horizon: nothing of the
+	// new history has been collected. Callers mirroring buffers off
+	// DiscardedResponses/DiscardedInvocations must rewind their cursors
+	// alongside a Reset (the pipeline only ever Resets pre-GC monitors, so
+	// its cursors are already zero).
+	inc.respDropped = 0
+	inc.invDropped = nil
 	if !inc.reload(h, []spec.State{inc.model.Init()}) {
 		return No
 	}
@@ -667,6 +758,10 @@ func (inc *Incremental) reload(h history.History, frontier []spec.State) bool {
 	inc.resetFrontier(frontier)
 	inc.pendingOp = make(map[int]uint64)
 	inc.seenIDs = make(map[uint64]struct{})
+	if inc.planner != nil {
+		inc.planner.reset()
+		inc.planner.seedResident(inc.baseResident)
+	}
 	inc.verdict = Yes
 	inc.err = nil
 	inc.stats.Resets++
@@ -679,8 +774,13 @@ func (inc *Incremental) reload(h history.History, frontier []spec.State) bool {
 			inc.verdict = No
 			return false
 		}
+		if inc.planner != nil {
+			inc.planner.track(e)
+		}
 		if len(inc.pendingOp) == 0 {
 			inc.cuts = append(inc.cuts, i+1)
+		} else if inc.planner != nil {
+			inc.planner.maybeCandidate(i + 1)
 		}
 	}
 	return true
@@ -720,8 +820,29 @@ func (inc *Incremental) Verdict() Verdict { return inc.verdict }
 func (inc *Incremental) History() history.History { return inc.h }
 
 // Discarded returns the number of events garbage-collected so far; the
-// retained window starts that many events into the monitored history.
+// retained window starts that many events into the monitored history. Under
+// commit-point cuts the window is no longer a contiguous suffix of the
+// stream — carried producer invocations are restaged at the window head out
+// of original position — so callers that mirror the monitor's buffers should
+// align on DiscardedResponses and DiscardedInvocations instead.
 func (inc *Incremental) Discarded() int { return inc.hBase }
+
+// DiscardedResponses returns how many response events have been garbage-
+// collected so far. The incremental verification pipeline (internal/core)
+// drops its oldest retained tuples in lockstep with this counter: response
+// events are never restaged by commit-point cuts, so response order alone is
+// a reliable alignment axis between the monitor's window and the pipeline's
+// rebuild buffer.
+func (inc *Incremental) DiscardedResponses() int { return inc.respDropped }
+
+// DiscardedInvocations returns, per process index, how many invocation
+// events have been garbage-collected so far — the announce floors the
+// incremental verification pipeline rebuilds windows against. Carried
+// producer invocations are not counted until the operation completes and its
+// events are collected for good. The returned slice aliases internal state
+// (and may be shorter than the process count); callers must treat it as
+// read-only.
+func (inc *Incremental) DiscardedInvocations() []int { return inc.invDropped }
 
 // FrontierSize returns the current number of states summarising the
 // committed prefix.

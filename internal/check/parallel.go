@@ -322,6 +322,8 @@ func (a *IncStats) add(b IncStats) {
 	a.GCRuns += b.GCRuns
 	a.DiscardedEvents += b.DiscardedEvents
 	a.FrontierOverflows += b.FrontierOverflows
+	a.CommitCuts += b.CommitCuts
+	a.CarriedOps += b.CarriedOps
 	a.RetainedEvents += b.RetainedEvents
 	a.RetainedBytes += b.RetainedBytes
 	a.FrontierStates += b.FrontierStates

@@ -67,8 +67,7 @@ type IncVerifier struct {
 	retain       bool
 	retainPolicy check.RetentionPolicy
 	parallelism  int                   // monitor fan-out width; <=1 sequential
-	evMeta       []int32               // per assembled event: proc for an invocation, -1 for a response
-	evHead       int                   // consumed prefix of evMeta (events the monitor GC'd)
+	respHead     int                   // response events the monitor GC'd (tuples already released)
 	baseAnn      []int                 // per-process announce floor: invocations behind the GC horizon
 	annHeads     []*conslist.Node[Ann] // heads of the largest view seen, for announce truncation
 
@@ -352,15 +351,6 @@ func (iv *IncVerifier) admit(e history.Event) error {
 // judge hands the freshly assembled events to the monitor.
 func (iv *IncVerifier) judge(events history.History) {
 	if iv.inc != nil {
-		if iv.retain {
-			for _, e := range events {
-				if e.Kind == history.Invoke {
-					iv.evMeta = append(iv.evMeta, int32(e.Proc))
-				} else {
-					iv.evMeta = append(iv.evMeta, -1)
-				}
-			}
-		}
 		iv.verdict = iv.inc.Append(events)
 		iv.err = iv.inc.Err()
 		iv.syncGC()
@@ -378,33 +368,38 @@ func (iv *IncVerifier) judge(events history.History) {
 // dedup set), per-process announce floors advance past collected
 // invocations, and the announce cons-lists are truncated at the floor. Only
 // meaningful under retention; a no-op otherwise.
+//
+// The alignment axes are the monitor's per-kind discard counters, not an
+// event-prefix replica: under commit-point cuts the collected events are no
+// longer a contiguous prefix of the assembled stream (carried producer
+// invocations are restaged into the window), but response events are never
+// restaged and the rebuild buffer is kept in response-event order — so the
+// collected responses are exactly the oldest retained tuples, and the
+// announce floors are exactly the monitor's per-process invocation counts.
 func (iv *IncVerifier) syncGC() {
 	if !iv.retain || iv.violated() {
 		return
 	}
-	d := iv.inc.Discarded()
 	dropped := 0
-	for iv.evHead < d {
-		m := iv.evMeta[0]
-		iv.evMeta = iv.evMeta[1:]
-		iv.evHead++
-		if m >= 0 {
-			iv.baseAnn[m]++
-		} else {
-			// The rebuild buffer is aligned with response-event order, so
-			// the collected response is exactly the oldest retained tuple.
-			t := iv.all[0]
-			iv.all = iv.all[1:]
-			delete(iv.seen, t.Op.Uniq)
-			dropped++
+	for d := iv.inc.DiscardedResponses(); iv.respHead < d; iv.respHead++ {
+		t := iv.all[0]
+		iv.all = iv.all[1:]
+		delete(iv.seen, t.Op.Uniq)
+		dropped++
+	}
+	advanced := false
+	for p, d := range iv.inc.DiscardedInvocations() {
+		if p < iv.n && d > iv.baseAnn[p] {
+			iv.baseAnn[p] = d
+			advanced = true
 		}
 	}
 	if dropped > 0 {
 		iv.stats.DiscardedTuples += dropped
-		if iv.annHeads != nil {
-			for p := 0; p < iv.n && p < len(iv.annHeads); p++ {
-				iv.stats.AnnNodesReleased += int64(iv.annHeads[p].TruncateBefore(iv.baseAnn[p]))
-			}
+	}
+	if advanced && iv.annHeads != nil {
+		for p := 0; p < iv.n && p < len(iv.annHeads); p++ {
+			iv.stats.AnnNodesReleased += int64(iv.annHeads[p].TruncateBefore(iv.baseAnn[p]))
 		}
 	}
 	iv.stats.RetainedTuples = len(iv.all)
@@ -429,9 +424,11 @@ func (iv *IncVerifier) fail(err error, events history.History) {
 // Under retention the reconstruction covers only the window since the GC
 // horizon, re-anchored at the monitor's GC base via ReloadWindow: a correct
 // DRV producer cannot publish a tuple whose events precede the horizon (its
-// invocation would have been pending, blocking the quiescent cut), so the
-// windowed rebuild is exact for comparable-view streams; a corrupted stream
-// whose evidence predates the horizon surfaces as a ViewsError instead.
+// invocation would have been pending, blocking a quiescent cut, or carried
+// across a commit-point cut, which keeps its announce above the floor), so
+// the windowed rebuild is exact for comparable-view streams; a corrupted
+// stream whose evidence predates the horizon surfaces as a ViewsError
+// instead.
 func (iv *IncVerifier) rebuild() {
 	iv.stats.Rebuilds++
 	var h history.History
@@ -467,17 +464,10 @@ func (iv *IncVerifier) rebuild() {
 	}
 	if iv.inc != nil {
 		if iv.retain {
-			// Re-anchor at the GC base and realign the retained buffers with
-			// the canonical event order of the reconstruction.
+			// Re-anchor at the GC base and realign the retained buffer with
+			// the canonical response order of the reconstruction, which is
+			// the order the monitor's collector will discard in.
 			sortTuplesCanonical(iv.all)
-			iv.evMeta = iv.evMeta[:0]
-			for _, e := range h {
-				if e.Kind == history.Invoke {
-					iv.evMeta = append(iv.evMeta, int32(e.Proc))
-				} else {
-					iv.evMeta = append(iv.evMeta, -1)
-				}
-			}
 			iv.verdict = iv.inc.ReloadWindow(h)
 			iv.err = iv.inc.Err()
 			iv.syncGC()

@@ -58,11 +58,18 @@ func BuildHistory(tuples []Tuple, n int) (history.History, error) {
 // buildHistorySince is BuildHistory generalised with a retention horizon:
 // invocations at or below the per-process announce floor base are assumed
 // already emitted (and possibly garbage-collected, so the announce lists may
-// be truncated below base and must not be walked there). A tuple whose view
-// drops below the floor cannot be integrated — its response event would
-// belong to the collected prefix, which a correct DRV producer cannot
-// produce once the prefix reached quiescence — and is reported as a
-// ViewsError. A nil base is the zero horizon: the full X(τ) construction.
+// be truncated below base and must not be walked there). A tuple whose OWN
+// announce sits at or below its process's floor cannot be integrated — its
+// operation completed and was collected, so a reappearing publication is
+// corruption — and is reported as a ViewsError. Other processes' counts in a
+// view may legitimately sit below their floors: a slow producer's operation
+// that applied long ago but published late is carried across commit-point
+// cuts as a pending invocation (its own announce stays above the floor)
+// while the operations its old view predates commit and collect; such a
+// view contributes no invocations for the collected processes (the cursor
+// never moves backward) and its response simply joins the window at its
+// group position. A nil base is the zero horizon: the full X(τ)
+// construction.
 func buildHistorySince(tuples []Tuple, n int, base []int) (history.History, error) {
 	// Deduplicate.
 	seen := make(map[uint64]bool, len(tuples))
@@ -119,16 +126,19 @@ func buildHistorySince(tuples []Tuple, n int, base []int) (history.History, erro
 		if len(counts) != n {
 			return nil, &ViewsError{Reason: "view arity mismatch"}
 		}
-		for p := 0; p < len(base); p++ {
-			if counts[p] < base[p] {
+		for _, t := range g.tuples {
+			if t.Proc >= 0 && t.Proc < len(base) && counts[t.Proc] <= base[t.Proc] {
 				return nil, &ViewsError{Reason: "publication predates the retention horizon"}
 			}
 		}
 		for p := 0; p < n; p++ {
+			if counts[p] <= prev[p] {
+				continue // at or behind the cursor/floor: nothing new to emit
+			}
 			for _, ann := range g.view.annsSince(p, prev[p]) {
 				h = append(h, history.Event{Kind: history.Invoke, Proc: ann.Proc, ID: ann.Op.Uniq, Op: ann.Op})
 			}
-			prev[p] = counts[p] // monotone: the containment-ordering check above
+			prev[p] = counts[p]
 		}
 		resps := make([]Tuple, len(g.tuples))
 		copy(resps, g.tuples)

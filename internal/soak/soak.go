@@ -19,7 +19,7 @@ import (
 	"repro/internal/trace"
 )
 
-// Result carries the B9 acceptance numbers.
+// Result carries the B9 and B12 acceptance numbers.
 type Result struct {
 	Events      int  // events in the monitored stream
 	MaxRetained int  // retained-events high-water mark across the stream
@@ -28,6 +28,8 @@ type Result struct {
 	Retained    int  // events still held at the end
 	DivergedAt  int  // publication index of the first verdict divergence; -1 if none
 	Yes         bool // final verdict of the retained monitor
+	CommitCuts  int  // commit-point cuts committed (B12 only; 0 for B9)
+	CarriedOps  int  // producer invocations carried across commit cuts (B12 only)
 }
 
 // Ok reports whether the soak met the B9 acceptance criteria: a window
@@ -92,6 +94,60 @@ func Publish(m spec.Model, procs, ops int) []core.Tuple {
 		tuples = append(tuples, core.Tuple{Proc: p, Op: op, Res: y, View: view})
 	}
 	return tuples
+}
+
+// B12Models returns the strongly-ordered model set of the B12 commit-point-
+// cut family: the models implementing spec.StronglyOrdered, for which
+// commit-point-order cuts are available.
+func B12Models() []spec.Model {
+	return []spec.Model{spec.Queue(), spec.Stack(), spec.PQueue()}
+}
+
+// B12Burst is the append granularity of the B12 runs: events per Append.
+const B12Burst = 64
+
+// RunNeverQuiescent is the shared body of the B12 acceptance checks
+// (TestSoakNeverQuiescentB12, BenchmarkCommitCutSoak, the cmd/perfgate B12
+// gate): it streams the never-quiescent workload (trace.NeverQuiescent — no
+// globally quiescent point over the whole stream) through a bounded monitor
+// under policy and through the unbounded oracle monitor, comparing verdicts
+// at every burst. With commitCuts the bounded monitor runs commit-point-
+// order cuts and its window must stay flat; without (the degradation
+// control) quiescent-cut retention never finds a cut and the window grows
+// with the stream — the ROADMAP hole B12 exists to close. workers > 1 runs
+// the bounded monitor's parallel engine.
+func RunNeverQuiescent(m spec.Model, ops, workers int, policy check.RetentionPolicy, commitCuts bool) Result {
+	policy.CommitCuts = commitCuts
+	h := trace.NeverQuiescent(m, 29, 5, ops)
+	opts := []check.IncOption{check.WithRetention(policy)}
+	if workers > 1 {
+		opts = append(opts, check.WithParallelism(workers))
+	}
+	retained := check.NewIncremental(m, opts...)
+	oracle := check.NewIncremental(m)
+	res := Result{Events: len(h), Bound: WindowBound(policy), DivergedAt: -1}
+	for k := 0; len(h) > 0; k++ {
+		n := B12Burst
+		if n > len(h) {
+			n = len(h)
+		}
+		vr := retained.Append(h[:n])
+		vo := oracle.Append(h[:n])
+		h = h[n:]
+		if res.DivergedAt < 0 && vr != vo {
+			res.DivergedAt = k
+		}
+		if r := retained.Stats().RetainedEvents; r > res.MaxRetained {
+			res.MaxRetained = r
+		}
+	}
+	st := retained.Stats()
+	res.Discarded = st.DiscardedEvents
+	res.Retained = st.RetainedEvents
+	res.CommitCuts = st.CommitCuts
+	res.CarriedOps = st.CarriedOps
+	res.Yes = retained.Verdict() == check.Yes
+	return res
 }
 
 // B10Workload names one dense-history workload of the B10 checker-allocation

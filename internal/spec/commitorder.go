@@ -1,0 +1,106 @@
+package spec
+
+// StronglyOrdered marks models whose matched call/return pairs fix the
+// commit (linearization) order of the operations that move data: the class
+// for which Bouajjani, Emmi, Enea and Hamza ("On Reducing Linearizability to
+// State Reachability", 2015) reduce linearizability to reachability over
+// commit-point-ordered executions, and which the decrease-and-conquer
+// monitors of arXiv:2410.04581 decompose per value. The capability the
+// bounded-memory monitor (internal/check) extracts from it is a
+// per-operation commit-order witness:
+//
+//   - a producer is an operation whose response is independent of the state
+//     it is applied in (it always succeeds and always acknowledges) and
+//     whose effect becomes observable to other operations only through the
+//     value it inserts. Until some completed operation returns that value, a
+//     pending producer's commit point can be delayed past any cut without
+//     invalidating any witness — which is what lets the monitor commit a
+//     prefix at a point the producer's interval straddles (see the soundness
+//     argument in internal/check/commitcut.go);
+//
+//   - an observer is every other operation. Its response pins its commit
+//     position (a Deq that returned 3 committed while 3 was at the head), so
+//     a cut must never float across its interval.
+//
+// Implementations must guarantee, for every op they classify as a producer:
+//
+//  1. Apply(op) succeeds in every state and its response is the same in
+//     every state (Enq/Push/Insert acknowledge unconditionally);
+//  2. no other operation's response can depend on whether op has been
+//     applied except by returning op's inserted value first. FIFO queues,
+//     LIFO stacks and min-priority queues all have this shape: an element
+//     that has never been returned by a removal is invisible — removals
+//     return values ahead of it (in front of it, above it, smaller than it)
+//     identically whether or not it is present, and "empty" responses are
+//     impossible while it is present, hence absent from any witness that
+//     holds it. A set does NOT: Add(v) answers false when v is present, and
+//     Contains(v) observes v without removing it, so insertion is visible
+//     without any value transfer.
+//
+// The counter, register, consensus and snapshot models have no producers at
+// all under this contract (every operation's response is state-dependent or
+// globally visible), so they do not implement the interface and the monitor
+// falls back to quiescent-cut retention for them.
+type StronglyOrdered interface {
+	Model
+
+	// CommitWitness classifies op. For a producer it returns the inserted
+	// value whose observation pins the op's commit position and true;
+	// observers return false (the value is meaningless then).
+	CommitWitness(op Operation) (value int64, producer bool)
+
+	// Observation reports the value a completed operation observed
+	// (removed), given its recorded response; ok is false when it observed
+	// nothing (producers, and removals that answered "empty").
+	Observation(op Operation, res Response) (value int64, ok bool)
+
+	// InsertionOrderMatters reports whether the structure distinguishes the
+	// insertion order of co-resident values. For a queue or stack it does:
+	// delaying a pending insert past a cut reorders it relative to resident
+	// values, and a later removal of its value exposes the difference — so
+	// the monitor additionally requires the structure to be provably empty
+	// at the cut (every completed insert's value already observed) before
+	// carrying a producer. For a priority queue it does not: the abstract
+	// state is a multiset, so any placement of a pending insert reaches the
+	// same state and residency is harmless.
+	InsertionOrderMatters() bool
+}
+
+// Queue: Enq produces its argument; Deq observes the value it returns.
+
+func (queueModel) CommitWitness(op Operation) (int64, bool) {
+	return op.Arg, op.Method == MethodEnq
+}
+
+func (queueModel) Observation(op Operation, res Response) (int64, bool) {
+	return res.Val, op.Method == MethodDeq && res.Kind == KindValue
+}
+
+func (queueModel) InsertionOrderMatters() bool { return true }
+
+// Stack: Push produces its argument; Pop observes the value it returns.
+
+func (stackModel) CommitWitness(op Operation) (int64, bool) {
+	return op.Arg, op.Method == MethodPush
+}
+
+func (stackModel) Observation(op Operation, res Response) (int64, bool) {
+	return res.Val, op.Method == MethodPop && res.Kind == KindValue
+}
+
+func (stackModel) InsertionOrderMatters() bool { return true }
+
+// Priority queue: Insert produces its argument; ExtractMin observes the
+// value it returns. Duplicates are allowed by the model; the monitor's
+// pinning is by value, so an observation of v conservatively pins every
+// pending Insert(v) regardless of which instance it matched.
+
+func (pqueueModel) CommitWitness(op Operation) (int64, bool) {
+	return op.Arg, op.Method == MethodInsert
+}
+
+func (pqueueModel) Observation(op Operation, res Response) (int64, bool) {
+	return res.Val, op.Method == MethodMin && res.Kind == KindValue
+}
+
+func (pqueueModel) InsertionOrderMatters() bool { return false }

@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// TestNeverQuiescentShape pins the properties the B12 family relies on: the
+// stream is well-formed, linearizable, deterministic per seed, has no
+// globally quiescent boundary anywhere strictly inside it, and ends with an
+// operation still pending.
+func TestNeverQuiescentShape(t *testing.T) {
+	for _, m := range []spec.Model{spec.Queue(), spec.Stack(), spec.PQueue()} {
+		m := m
+		t.Run(m.Name(), func(t *testing.T) {
+			h := NeverQuiescent(m, 7, 5, 300)
+			if len(h) == 0 {
+				t.Fatal("empty stream")
+			}
+			if err := h.Validate(); err != nil {
+				t.Fatalf("ill-formed: %v", err)
+			}
+			open := 0
+			for i, e := range h {
+				if e.Kind == history.Invoke {
+					open++
+				} else {
+					open--
+				}
+				if open == 0 && i < len(h)-1 {
+					t.Fatalf("globally quiescent boundary after event %d", i)
+				}
+			}
+			if open == 0 {
+				t.Fatal("stream ends quiescent; the final link must stay pending")
+			}
+			if !check.IsLinearizable(m, h) {
+				t.Fatal("stream is not linearizable by construction")
+			}
+			h2 := NeverQuiescent(m, 7, 5, 300)
+			if len(h2) != len(h) {
+				t.Fatalf("not deterministic: %d vs %d events", len(h2), len(h))
+			}
+			for i := range h {
+				if h[i] != h2[i] {
+					t.Fatalf("not deterministic at event %d", i)
+				}
+			}
+		})
+	}
+}
+
+// TestNeverQuiescentRejectsWeakModels: models without the producer/observer
+// split cannot host the workload.
+func TestNeverQuiescentRejectsWeakModels(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected a panic for a non-strongly-ordered model")
+		}
+	}()
+	NeverQuiescent(spec.Counter(), 1, 3, 10)
+}
