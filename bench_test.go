@@ -599,6 +599,68 @@ func TestSoakNeverQuiescentB12(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// B13: log-linear fast tier vs the exact search on the heavy-tail seed —
+// the decrease-and-conquer tier decides in O(n log n) peel steps what the
+// Wing–Gong search pays thousands of explored configurations for
+// ---------------------------------------------------------------------------
+
+// BenchmarkFastTier is the B13 family, on the shared internal/soak B13
+// workload (the pathological queue seed the B11 shard lists omit):
+//
+//   - tier/*: the log-linear decision tier alone (check.FastTier);
+//   - wg/*: the complete search on the same history;
+//   - incremental-retained/*: the retained monitor ingesting the history in
+//     one append, answering from the tier (fasttier_tail_test.go asserts the
+//     search never runs on this path).
+//
+// cmd/perfgate gates the explored-steps ratio of the two deciders (counter-
+// based, host-independent) rather than this wall-clock ratio.
+func BenchmarkFastTier(b *testing.B) {
+	m := soak.B13Model()
+	h := soak.B13History()
+	b.Run("tier/queue/seed2", func(b *testing.B) {
+		b.ReportAllocs()
+		ft := check.FastTier(m)
+		for i := 0; i < b.N; i++ {
+			if ft.Check(h) != check.Yes {
+				b.Fatal("tier failed to accept the B13 seed")
+			}
+		}
+	})
+	b.Run("wg/queue/seed2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if !check.IsLinearizable(m, h) {
+				b.Fatal("B13 seed refuted")
+			}
+		}
+	})
+	b.Run("incremental-retained/queue/seed2", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			inc := check.NewIncremental(m, check.WithRetention(check.RetentionPolicy{}))
+			if inc.Append(h) != check.Yes {
+				b.Fatal("B13 seed refuted")
+			}
+		}
+	})
+}
+
+// TestSoakFastTierB13 is the B13 acceptance check: the tier decides the
+// pathological seed, agrees with the exact search, and beats it by at least
+// the gated explored-steps ratio. The CI perf gate runs the same body
+// (internal/soak RunFastTier) via cmd/perfgate.
+func TestSoakFastTierB13(t *testing.T) {
+	r := soak.RunFastTier()
+	if !r.Agree {
+		t.Fatalf("fast tier failed to decide the B13 seed in agreement with the search: %+v", r)
+	}
+	if r.Steps <= 0 || float64(r.Explored)/float64(r.Steps) < 50 {
+		t.Fatalf("explored-steps ratio below the 50x floor: %+v", r)
+	}
+}
+
 // BenchmarkFirstViolation measures the witness-localisation cost.
 func BenchmarkFirstViolation(b *testing.B) {
 	h := trace.RandomLinearizable(spec.Queue(), 3, 3, 64)

@@ -41,13 +41,22 @@
 //     quiescent cuts only) unexpectedly stays bounded — which would mean
 //     the workload stopped demonstrating the hole the gate guards.
 //
+//   - B13 fast-tier gate: the log-linear decision tier against the exact
+//     search on the pathological heavy-tail queue seed (internal/soak
+//     RunFastTier, the workload committed at
+//     internal/check/testdata/b11_queue_seed2.json). CI fails if the tier's
+//     verdict stops matching the search's, or if the explored-steps ratio
+//     (Wing–Gong explored configurations / tier peel steps — counters, not
+//     wall-clock, so host-independent) falls below -b13minratio (default
+//     50x; the recorded figure is ~88x).
+//
 // Every gate verdict is also emitted as a uniform {gate, status, value,
 // bound} entry in the JSON (status pass|fail|skip), so the benchmark-
 // trajectory tooling can diff runs across PRs without parsing ad-hoc keys,
 // and each gate has a distinct process exit code (B8=2, B9=3, B10=4, B11=5,
-// B12=6; setup failures exit 1) so CI logs identify the tripped gate from
-// the exit status alone. With several failures the first tripped gate's
-// code wins.
+// B12=6, B13=7; setup failures exit 1) so CI logs identify the tripped gate
+// from the exit status alone. With several failures the first tripped
+// gate's code wins.
 //
 // Usage:
 //
@@ -83,6 +92,7 @@ const (
 	exitB10   = 4
 	exitB11   = 5
 	exitB12   = 6
+	exitB13   = 7
 )
 
 // gateEntry is the uniform per-gate record in the BENCH JSON: one entry per
@@ -128,6 +138,10 @@ type result struct {
 	B12CarriedOps  int           `json:"b12_carried_ops"`
 	B12ControlHW   int           `json:"b12_control_retained_events_max"`
 	B12Ns          int64         `json:"b12_ns"`
+	B13Explored    int           `json:"b13_wg_explored"`
+	B13Steps       int           `json:"b13_tier_steps"`
+	B13Ratio       float64       `json:"b13_explored_steps_ratio"`
+	B13MinRatio    float64       `json:"b13_min_ratio"`
 	Gates          []gateEntry   `json:"gates"`
 	Pass           bool          `json:"pass"`
 }
@@ -154,6 +168,7 @@ func run() int {
 	minRatio := flag.Float64("minratio", 100, "minimum incremental-vs-fullrecheck speedup")
 	maxAllocs := flag.Int64("maxallocs", 400, "maximum allocs/op for the B10 checker gate")
 	minScale := flag.Float64("minscale", 1.5, "minimum 4-worker-vs-1 speedup for the B11 parallel gate (auto-skip below 4 CPUs)")
+	b13MinRatio := flag.Float64("b13minratio", 50, "minimum explored-steps ratio (Wing–Gong explored / tier peel steps) for the B13 fast-tier gate")
 	baseline := flag.Bool("baseline", false, "emit B10 speedup vs the recorded pre-PR baseline (reference host only)")
 	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
 	flag.Parse()
@@ -377,6 +392,32 @@ func run() int {
 		gate("b12-control", "fail", float64(ctl.MaxRetained), float64(ctl.Events), exitB12)
 	} else {
 		gate("b12-control", "pass", float64(ctl.MaxRetained), float64(ctl.Events), exitB12)
+	}
+
+	// --- B13 fast-tier gate --------------------------------------------------
+	// The shared heavy-tail workload (internal/soak RunFastTier, the seed
+	// committed under internal/check/testdata/). Both figures are
+	// deterministic counters — explored configurations and peel steps — so
+	// the gate is exact on every host.
+	b13 := soak.RunFastTier()
+	res.B13Explored = b13.Explored
+	res.B13Steps = b13.Steps
+	res.B13MinRatio = *b13MinRatio
+	if b13.Steps > 0 {
+		res.B13Ratio = float64(b13.Explored) / float64(b13.Steps)
+	}
+	fmt.Printf("B13 gate: wg-explored=%d tier-steps=%d ratio=%.1fx (min %.0fx) agree=%v\n",
+		b13.Explored, b13.Steps, res.B13Ratio, *b13MinRatio, b13.Agree)
+	switch {
+	case !b13.Agree:
+		fmt.Fprintln(os.Stderr, "FAIL: B13 fast tier fell back or disagreed with the exact search on the committed seed")
+		gate("b13", "fail", res.B13Ratio, *b13MinRatio, exitB13)
+	case res.B13Ratio < *b13MinRatio:
+		fmt.Fprintf(os.Stderr, "FAIL: B13 explored-steps ratio %.1fx below the %.0fx gate — the tier stopped sparing the search\n",
+			res.B13Ratio, *b13MinRatio)
+		gate("b13", "fail", res.B13Ratio, *b13MinRatio, exitB13)
+	default:
+		gate("b13", "pass", res.B13Ratio, *b13MinRatio, exitB13)
 	}
 
 	res.Pass = ok

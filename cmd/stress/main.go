@@ -48,6 +48,7 @@ func run() int {
 	retain := flag.Bool("retain", false, "decoupled: bounded-memory retention (GC committed prefixes behind the frontier)")
 	commitcuts := flag.Bool("commitcuts", false, "retention: commit-point-order cuts for strongly-ordered models (queue, stack, pqueue) — retention stays bounded on streams that never quiesce")
 	workers := flag.Int("workers", 1, "decoupled: parallel segment-search workers inside the monitor (requires -decoupled -retain; incompatible with -fullrecheck)")
+	fasttier := flag.Bool("fasttier", true, "decoupled: log-linear fast decision tier inside the incremental monitor (incompatible with -fullrecheck)")
 	gcbatch := flag.Int("gcbatch", 0, "retention: GC batch size in events (0 = default)")
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the soak to this file")
@@ -131,10 +132,24 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-commitcuts requires -retain (commit-point cuts are a retention discipline)")
 		return 2
 	}
+	fasttierSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "fasttier" {
+			fasttierSet = true
+		}
+	})
+	if fasttierSet && *fullrecheck {
+		fmt.Fprintln(os.Stderr, "-fasttier is incompatible with -fullrecheck (the paper-literal loop has no incremental monitor, hence no tier to toggle)")
+		return 2
+	}
+	if fasttierSet && !*decoupled {
+		fmt.Fprintln(os.Stderr, "-fasttier requires -decoupled (only the decoupled monitor runs the incremental pipeline the tier accelerates)")
+		return 2
+	}
 	if *decoupled {
 		cfg := decoupledCfg{
 			fault: *fault, rate: *rate, procs: *procs, ops: *ops, seeds: *seeds,
-			verifiers: *verifiers, fullrecheck: *fullrecheck,
+			verifiers: *verifiers, fullrecheck: *fullrecheck, fasttier: *fasttier,
 			retain: *retain, commitcuts: *commitcuts, workers: *workers, gcbatch: *gcbatch, report: *report,
 		}
 		return runDecoupled(m, obj, mode, cfg)
@@ -202,6 +217,7 @@ type decoupledCfg struct {
 	seeds       int
 	verifiers   int
 	fullrecheck bool
+	fasttier    bool
 	retain      bool
 	commitcuts  bool
 	workers     int
@@ -236,6 +252,9 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		}
 		if cfg.workers > 1 {
 			opts = append(opts, core.WithDecoupledParallelism(cfg.workers))
+		}
+		if !cfg.fasttier {
+			opts = append(opts, core.WithDecoupledFastTier(false))
 		}
 		d := core.NewDecoupled(inner, cfg.procs, cfg.verifiers, obj,
 			func(core.Report) { reports.Add(1) }, opts...)
@@ -293,6 +312,8 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		agg.Verify.AnnNodesReleased += st.Verify.AnnNodesReleased
 		agg.Verify.Check.SegChecks += st.Verify.Check.SegChecks
 		agg.Verify.Check.Fallbacks += st.Verify.Check.Fallbacks
+		agg.Verify.Check.FastTierHits += st.Verify.Check.FastTierHits
+		agg.Verify.Check.FastTierFallbacks += st.Verify.Check.FastTierFallbacks
 		agg.Verify.Check.Compactions += st.Verify.Check.Compactions
 		agg.Verify.Check.GCRuns += st.Verify.Check.GCRuns
 		agg.Verify.Check.DiscardedEvents += st.Verify.Check.DiscardedEvents
@@ -312,13 +333,17 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v commitcuts=%v workers=%d\n",
-		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.commitcuts, cfg.workers)
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v commitcuts=%v workers=%d fasttier=%v\n",
+		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.commitcuts, cfg.workers, cfg.fasttier)
 	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
 		agg.Scans, agg.Verify.Passes, agg.Verify.Tuples, agg.Verify.Groups, agg.Verify.Rebuilds,
 		agg.Verify.Check.SegChecks, agg.Verify.Check.Fallbacks, agg.Verify.Check.Compactions, agg.Reports)
+	if !cfg.fullrecheck {
+		fmt.Printf("fast tier: hits=%d fallbacks=%d (0/0 is expected with -fasttier=false or a model outside the tier's fragment)\n",
+			agg.Verify.Check.FastTierHits, agg.Verify.Check.FastTierFallbacks)
+	}
 	if cfg.retain {
 		fmt.Printf("retention: gcruns=%d discarded-events=%d retained-events(last run)=%d discarded-tuples=%d retained-tuples(last run)=%d deferrals=%d released: result-nodes=%d ann-nodes=%d\n",
 			agg.Verify.Check.GCRuns, agg.Verify.Check.DiscardedEvents, agg.Verify.Check.RetainedEvents,

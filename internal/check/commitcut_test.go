@@ -457,3 +457,30 @@ func TestResetRewindsDiscardCounters(t *testing.T) {
 			inc.Discarded(), inc.DiscardedResponses(), inc.DiscardedInvocations())
 	}
 }
+
+// TestFastTierCommitCutEquivalence repeats the tier-on/off sweep of
+// retention_test.go under commit-point-order cuts: the planner's carried
+// producers, commit cuts and GC must be bit-identical whether or not the
+// log-linear tier answered the segment checks, across worker widths 1, 2
+// and 4 (runTierOnOff). Strongly-ordered models only — the set has no
+// producers and never takes a commit cut.
+func TestFastTierCommitCutEquivalence(t *testing.T) {
+	hits, cuts := 0, 0
+	for _, m := range []spec.Model{spec.Queue(), spec.Stack(), spec.PQueue()} {
+		for seed := int64(1); seed <= 5; seed++ {
+			pol := RetentionPolicy{GCBatch: 1 + int(seed)%3, CommitCuts: true}
+			h := trace.RandomLinearizable(m, seed*23, 4, 36)
+			st := runTierOnOff(t, m, splitBursts(h, 3+int(seed)), pol, m.Name()+" commitcut")
+			hits += st.FastTierHits
+			cuts += st.CommitCuts
+			st = runTierOnOff(t, m, splitBursts(trace.Mutate(h, seed*71), 3+int(seed)), pol, m.Name()+" commitcut mutated")
+			hits += st.FastTierHits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("the fast tier never decided a segment under commit cuts")
+	}
+	if cuts == 0 {
+		t.Fatal("no commit cut ever fired: the sweep missed the planner interleave")
+	}
+}

@@ -216,7 +216,10 @@ func TestMonitorNames(t *testing.T) {
 	if got := ForModel(spec.Counter()).Name(); got != "fast-counter+wg-counter" {
 		t.Fatalf("hybrid name = %q", got)
 	}
-	if got := ForModel(spec.Set()).Name(); got != "wg-set" {
-		t.Fatalf("plain name = %q", got)
+	if got := ForModel(spec.Set()).Name(); got != "loglin-set+wg-set" {
+		t.Fatalf("tiered name = %q", got)
+	}
+	if got := ForModel(spec.Queue()).Name(); got != "fast-queue+loglin-queue+wg-queue" {
+		t.Fatalf("fully staged name = %q", got)
 	}
 }

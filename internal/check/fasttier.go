@@ -1,0 +1,122 @@
+package check
+
+import (
+	"repro/internal/check/loglin"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// This file threads the log-linear decrease-and-conquer tier
+// (internal/check/loglin) through the package's three consumers:
+//
+//   - the one-shot Monitor composition (ForModel, via the FastTier adapter
+//     below) — between the constant-factor No-detectors and the complete
+//     Wing–Gong search;
+//   - the persistent segment checker (Incremental.fastTierSegment, called at
+//     the top of checkSegment) — the tier answers whole-history segments
+//     without touching the persistent searches, so retention and commit-cut
+//     bookkeeping is exactly as if the tier never existed;
+//   - the parallel engine — fastTierSegment runs before the fan-out branch
+//     of checkSegment, so a tier hit spares the pool round entirely.
+//
+// The exact search Linearizable itself stays tier-free on purpose: it is the
+// reference the tier is differentially fuzzed against, and a reference that
+// consulted the tier would be circular.
+
+// fastTierMonitor adapts the tier to the Monitor interface: a definitive
+// verdict passes through, ambiguity becomes Maybe for the complete fallback.
+type fastTierMonitor struct {
+	m spec.Model
+}
+
+// FastTier returns the log-linear decision tier for m as a Monitor, or nil
+// if the model is outside the tier's fragment (not per-value matched). It
+// answers Maybe exactly on ambiguous histories.
+func FastTier(m spec.Model) Monitor {
+	if !loglin.Supported(m) {
+		return nil
+	}
+	return fastTierMonitor{m: m}
+}
+
+func (ft fastTierMonitor) Name() string { return "loglin-" + ft.m.Name() }
+
+func (ft fastTierMonitor) Check(h history.History) Verdict {
+	switch loglin.Decide(ft.m, h).V {
+	case loglin.Yes:
+		return Yes
+	case loglin.No:
+		return No
+	}
+	return Maybe
+}
+
+// WithFastTier enables or disables the log-linear fast tier inside the
+// incremental pipeline (default on; a no-op for models the tier does not
+// support). The tier short-circuits segment checks whose segment is the
+// whole history from the initial state, leaving all persistent-search,
+// retention and commit-cut state untouched; ambiguous histories fall back
+// to the exact engine and count FastTierFallbacks.
+func WithFastTier(enabled bool) IncOption {
+	return func(inc *Incremental) {
+		inc.fastTier = enabled
+	}
+}
+
+// fastTierSegment gives the log-linear tier first shot at a segment check.
+// decided reports whether the tier answered; ok is the answer.
+//
+// The tier decides whole histories against the initial state, so it only
+// fires while the monitor is still anchored there: no committed prefix
+// (cutIdx == 0), no GC horizon (hBase == 0), and the single-state frontier
+// that anchoring implies — then frontier[0] is provably the initial state
+// (only compaction or GC ever moves the anchor, and both leave a trace in
+// cutIdx or hBase). Retention-mode cuts re-enumerate exact frontier sets
+// from the events alone (enumerateFrontier), never reading the persistent
+// searches, so a tier answer leaves every retention and commit-cut decision
+// bit-identical to a tier-off run.
+//
+// Full-witness mode has one extra dependence: committing a quiescent
+// boundary (advanceCuts -> compactTo) folds the live search's witness, which
+// the tier does not produce. With such a boundary waiting, a tier Yes is
+// therefore discarded — the search runs and compaction proceeds exactly as
+// without the tier — while a tier No still short-circuits (nothing compacts
+// on a refuted append, and the full-history fallback that follows is the
+// same either way).
+//
+// On a tier No in retention mode the frontier state is marked dead, exactly
+// as an exhausted search would have — the refutation is exact, and
+// prefix-closure keeps it standing for every extension.
+//
+// FastTierHits counts tier answers the engine used; FastTierFallbacks counts
+// tier runs after which the exact search still ran (ambiguity, or a
+// discarded Yes).
+func (inc *Incremental) fastTierSegment(seg history.History) (decided, ok bool) {
+	if !inc.fastTier || inc.cutIdx != 0 || inc.hBase != 0 || len(inc.frontier) != 1 {
+		return false, false
+	}
+	if inc.dead != nil && inc.dead[0] {
+		return false, false
+	}
+	r := loglin.Decide(inc.model, seg)
+	switch r.V {
+	case loglin.Yes:
+		if !inc.retain && len(inc.cuts) > 0 {
+			// A pending quiescent boundary needs the search's witness to
+			// compact; the tier's Yes (witness-free) cannot substitute.
+			inc.stats.FastTierFallbacks++
+			return false, false
+		}
+		inc.stats.FastTierHits++
+		inc.stats.SegYes++
+		return true, true
+	case loglin.No:
+		inc.stats.FastTierHits++
+		if inc.dead != nil {
+			inc.dead[0] = true
+		}
+		return true, false
+	}
+	inc.stats.FastTierFallbacks++
+	return false, false
+}

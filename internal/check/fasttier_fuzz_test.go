@@ -1,0 +1,247 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/check/loglin"
+	"repro/internal/history"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// This file is the correctness backbone of the log-linear fast tier: the
+// tier's Yes/No verdicts are differentially checked against the exact
+// Wing–Gong search, and its Ambiguous verdicts are checked against an
+// independent, history-level mirror of the documented ambiguity triggers.
+// A tier that guessed (decided outside its fragment) or that fell back
+// spuriously (claimed ambiguity with no trigger present) fails here.
+
+// fastTierTrigger recomputes, directly from the history and independently of
+// the loglin implementation, whether one of the documented ambiguity
+// triggers is present: a value inserted more than once, a pending
+// removal/read, an operation outside the model's per-value classification,
+// or (stack only) a matched pair with disjoint push/pop intervals.
+func fastTierTrigger(m spec.Model, h history.History) bool {
+	pv, ok := m.(spec.PerValueMatched)
+	if !ok {
+		return true
+	}
+	ops := h.Ops()
+	switch m.Name() {
+	case "queue", "stack", "pqueue":
+		inserts := map[int64]int{}
+		insRet := map[int64]int{} // completed insert's return index; -1 pending
+		remInv := map[int64]int{}
+		for _, o := range ops {
+			if v, vok := pv.InsertValue(o.Op); vok {
+				inserts[v]++
+				if inserts[v] > 1 {
+					return true // duplicate value
+				}
+				if o.Complete {
+					insRet[v] = o.RetIdx
+				} else {
+					insRet[v] = -1
+				}
+				continue
+			}
+			if !o.Complete {
+				return true // pending removal
+			}
+			if v, vok := pv.RemoveValue(o.Op, o.Res); vok {
+				if _, seen := remInv[v]; !seen {
+					remInv[v] = o.InvIdx
+				}
+				continue
+			}
+			if pv.RemovedEmpty(o.Op, o.Res) {
+				continue
+			}
+			return true // operation outside the classification
+		}
+		if m.Name() == "stack" {
+			for v, ri := range remInv {
+				er, matched := insRet[v]
+				if !matched || er < 0 {
+					continue // unmatched (a No) or pending-forced (a blip)
+				}
+				if er <= ri {
+					return true // forced residency
+				}
+			}
+		}
+		return false
+	case "set":
+		adds := map[int64]int{}
+		for _, o := range ops {
+			switch o.Op.Method {
+			case spec.MethodAdd:
+				adds[o.Op.Arg]++
+				if adds[o.Op.Arg] > 1 {
+					return true
+				}
+				if o.Complete && o.Res.Kind != spec.KindTrue && o.Res.Kind != spec.KindFalse {
+					return true
+				}
+			case spec.MethodRemove, spec.MethodContains:
+				if !o.Complete {
+					return true
+				}
+				if o.Res.Kind != spec.KindTrue && o.Res.Kind != spec.KindFalse {
+					return true
+				}
+			default:
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// diffFastTier runs the tier on h and holds it to its contract: any claimed
+// decision must equal the exact search's verdict, and a fallback is only
+// legitimate when a trigger is demonstrably present.
+func diffFastTier(t *testing.T, m spec.Model, h history.History, label string) {
+	t.Helper()
+	r := loglin.Decide(m, h)
+	switch r.V {
+	case loglin.Ambiguous:
+		if !fastTierTrigger(m, h) {
+			t.Fatalf("%s (%s): tier fell back (%v) on a history with no ambiguity trigger",
+				label, m.Name(), r.Trigger)
+		}
+	case loglin.Yes, loglin.No:
+		want := Linearizable(m, h).Ok
+		if got := r.V == loglin.Yes; got != want {
+			t.Fatalf("%s (%s): tier decided %v, Wing–Gong says Ok=%v\nhistory: %v",
+				label, m.Name(), r.V, want, h)
+		}
+	default:
+		t.Fatalf("%s (%s): tier returned invalid verdict %d", label, m.Name(), r.V)
+	}
+}
+
+// squashValues folds all value arguments (and value responses) onto k
+// residues, manufacturing duplicate inserted values — the histories the
+// duplicate trigger exists for. The result may or may not stay linearizable;
+// the differential contract covers both.
+func squashValues(h history.History, k int64) history.History {
+	out := make(history.History, len(h))
+	copy(out, h)
+	for i := range out {
+		e := &out[i]
+		e.Op.Arg = ((e.Op.Arg % k) + k) % k
+		if e.Res.Kind == spec.KindValue {
+			e.Res.Val = ((e.Res.Val % k) + k) % k
+		}
+	}
+	return out
+}
+
+// flipBool flips one random boolean response — a shape-legal illegal stream
+// (e.g. a set Add suddenly claiming the value was present), which the tier
+// must either refute in agreement with Wing–Gong or hand back as ambiguous.
+func flipBool(h history.History, seed int64) history.History {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(history.History, len(h))
+	copy(out, h)
+	var bools []int
+	for i, e := range out {
+		if e.Kind == history.Return && (e.Res.Kind == spec.KindTrue || e.Res.Kind == spec.KindFalse) {
+			bools = append(bools, i)
+		}
+	}
+	if len(bools) == 0 {
+		return out
+	}
+	i := bools[rng.Intn(len(bools))]
+	if out[i].Res.Kind == spec.KindTrue {
+		out[i].Res = spec.BoolResp(false)
+	} else {
+		out[i].Res = spec.BoolResp(true)
+	}
+	return out
+}
+
+// fastTierVariants exercises one generated history plus its adversarial
+// derivatives: a mutated (likely illegal) stream, a value-squashed stream
+// with duplicate inserts, and a boolean-flipped stream.
+func fastTierVariants(t *testing.T, m spec.Model, seed int64, procs, nops int) {
+	t.Helper()
+	h := trace.RandomLinearizable(m, seed, procs, nops)
+	diffFastTier(t, m, h, "generated")
+	diffFastTier(t, m, trace.Mutate(h, seed+101), "mutated")
+	diffFastTier(t, m, squashValues(h, 3+((seed%5)+5)%5), "squashed")
+	diffFastTier(t, m, flipBool(h, seed+211), "flipped")
+}
+
+// TestFastTierDifferential is the deterministic tier-1 slice of the
+// differential fuzz surface: every supported model, a seed sweep, all
+// adversarial variants.
+func TestFastTierDifferential(t *testing.T) {
+	for _, m := range []spec.Model{spec.Queue(), spec.Stack(), spec.Set(), spec.PQueue()} {
+		t.Run(m.Name(), func(t *testing.T) {
+			for seed := int64(1); seed <= 60; seed++ {
+				fastTierVariants(t, m, seed, 2+int(seed%3), 24+int(seed%17))
+			}
+		})
+	}
+}
+
+// TestFastTierUnsupportedModels pins the tier's behaviour outside its
+// fragment: models without per-value matching always fall back.
+func TestFastTierUnsupportedModels(t *testing.T) {
+	for _, m := range []spec.Model{spec.Counter(), spec.Register(0), spec.Consensus(), spec.SnapshotObj(4)} {
+		if loglin.Supported(m) {
+			t.Fatalf("%s: unexpectedly supported", m.Name())
+		}
+		h := trace.RandomLinearizable(m, 3, 3, 24)
+		if r := loglin.Decide(m, h); r.V != loglin.Ambiguous || r.Trigger != loglin.TriggerModel {
+			t.Fatalf("%s: Decide returned %v/%v, want Ambiguous/model", m.Name(), r.V, r.Trigger)
+		}
+	}
+}
+
+// The four native fuzzers behind the nightly CI budget. Ops stay under 40:
+// dense random histories at higher counts hit the Wing–Gong heavy cost tail
+// (B11 notes) and the differential oracle runs it on every input.
+
+func fuzzFastTier(m spec.Model) func(*testing.T, int64, uint8, uint8) {
+	return func(t *testing.T, seed int64, procs, size uint8) {
+		fastTierVariants(t, m, seed, 2+int(procs)%4, 8+int(size)%32)
+	}
+}
+
+func FuzzFastTierQueue(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(16))
+	f.Add(int64(2), uint8(2), uint8(31))
+	f.Add(int64(17), uint8(3), uint8(24))
+	f.Add(int64(29), uint8(1), uint8(8))
+	f.Fuzz(fuzzFastTier(spec.Queue()))
+}
+
+func FuzzFastTierStack(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(16))
+	f.Add(int64(5), uint8(3), uint8(31))
+	f.Add(int64(13), uint8(0), uint8(24))
+	f.Add(int64(23), uint8(2), uint8(12))
+	f.Fuzz(fuzzFastTier(spec.Stack()))
+}
+
+func FuzzFastTierSet(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(16))
+	f.Add(int64(7), uint8(3), uint8(31))
+	f.Add(int64(11), uint8(1), uint8(20))
+	f.Add(int64(31), uint8(2), uint8(28))
+	f.Fuzz(fuzzFastTier(spec.Set()))
+}
+
+func FuzzFastTierPQueue(f *testing.F) {
+	f.Add(int64(1), uint8(2), uint8(16))
+	f.Add(int64(3), uint8(3), uint8(31))
+	f.Add(int64(19), uint8(1), uint8(24))
+	f.Add(int64(37), uint8(2), uint8(10))
+	f.Fuzz(fuzzFastTier(spec.PQueue()))
+}

@@ -3,6 +3,7 @@ package check
 import (
 	"fmt"
 
+	"repro/internal/check/loglin"
 	"repro/internal/history"
 	"repro/internal/spec"
 	"repro/internal/stateset"
@@ -59,9 +60,10 @@ type Incremental struct {
 	retain bool
 	policy RetentionPolicy
 
-	workers int            // parallel fan-out width; <=1 is the sequential engine
-	pool    *stateset.Pool // recycled search arenas for the parallel engine
-	wstats  []WorkerStat   // per-worker-slot diagnostics (scheduling-dependent)
+	fastTier bool           // log-linear decision tier (loglin) ahead of the exact search
+	workers  int            // parallel fan-out width; <=1 is the sequential engine
+	pool     *stateset.Pool // recycled search arenas for the parallel engine
+	wstats   []WorkerStat   // per-worker-slot diagnostics (scheduling-dependent)
 
 	h     history.History
 	hBase int          // events discarded by GC before h[0] (retention mode)
@@ -209,6 +211,9 @@ type IncStats struct {
 	SegExplored    int // configurations explored by committed segment-search runs
 	ParallelRounds int // fan-out rounds (segment checks + frontier enumerations) run on the pool
 
+	FastTierHits      int // segment checks decided by the log-linear tier
+	FastTierFallbacks int // tier runs after which the exact search still ran
+
 	GCRuns            int   // garbage collections performed
 	DiscardedEvents   int   // events released by GC, cumulative
 	FrontierOverflows int   // cuts skipped: exact frontier set over budget
@@ -225,6 +230,7 @@ func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	inc := &Incremental{
 		model:     m,
 		noDet:     NoDetector(m),
+		fastTier:  true,
 		frontier:  []spec.State{m.Init()},
 		searches:  make([]*segSearch, 1),
 		pendingOp: make(map[int]uint64),
@@ -234,6 +240,7 @@ func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	for _, opt := range opts {
 		opt(inc)
 	}
+	inc.fastTier = inc.fastTier && loglin.Supported(m)
 	if inc.retain {
 		inc.dead = make([]bool, 1)
 		if inc.policy.CommitCuts {
@@ -316,6 +323,9 @@ func (inc *Incremental) checkSegment() bool {
 	inc.stats.SegChecks++
 	if len(seg) > inc.stats.MaxSegment {
 		inc.stats.MaxSegment = len(seg)
+	}
+	if decided, ok := inc.fastTierSegment(seg); decided {
+		return ok
 	}
 	if inc.workers > 1 {
 		live := make([]int, 0, len(inc.frontier))

@@ -1,0 +1,122 @@
+package loglin
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// decidePQueue decides min-priority-queue linearizability on the unambiguous
+// fragment (distinct inserted values, no pending ExtractMin). The peel order
+// is by value, smallest first: an ExtractMin that returned v is legal at an
+// instant t iff no value smaller than v is resident at t, and an empty
+// ExtractMin needs an instant with no value resident at all. Residency is
+// conservative exactly on the forced spans (a value outside its forced span
+// can always be scheduled out of the way — the multiset state puts no order
+// on co-resident values, so sliding one value's insert or extract never
+// disturbs the others). The decider therefore processes extractions in
+// ascending order of extracted value, accumulating the forced spans of all
+// smaller values into a merged interval list, and refutes any extraction
+// whose whole interval is covered; empty extractions are coverage queries
+// against the spans of every value.
+func decidePQueue(pv spec.PerValueMatched, ops []history.Op, c *counters) Result {
+	col, early := collect(pv, ops, c)
+	if early.V != 0 {
+		return early
+	}
+
+	byVal := col.pairs
+	sort.Slice(byVal, func(i, j int) bool { return byVal[i].val < byVal[j].val })
+	c.sorted(len(byVal))
+
+	// Walk values ascending, querying each extraction against the merged
+	// forced spans of strictly smaller values, then admitting the value's
+	// own span. The merged list is kept sorted by insertion position; each
+	// admitted span either extends a neighbour (amortized O(1) merges — a
+	// span leaves the list at most once) or is inserted at its binary-search
+	// position.
+	var merged spanSet
+	for _, p := range byVal {
+		c.steps++ // peel decision for this value
+		if p.removed {
+			// The extraction instant must also follow the value's own
+			// insert invocation (t > invE makes p(insert) < t feasible), so
+			// the query interval starts at max(invD, invE).
+			lo := p.invD
+			if p.invE > lo {
+				lo = p.invE
+			}
+			if merged.covers(lo, p.retD, c) {
+				return Result{V: No}
+			}
+		}
+		if s, ok := p.forced(); ok {
+			merged.add(s, c)
+		}
+	}
+	for _, z := range col.empties {
+		c.steps++ // peel decision for this empty
+		if merged.covers(z.l, z.r, c) {
+			return Result{V: No}
+		}
+	}
+	return Result{V: Yes}
+}
+
+// spanSet maintains a sorted list of disjoint, non-touching closed spans
+// under insertion, supporting open-interval coverage queries. Comparisons
+// are O(log n) amortized per operation; slice insertion moves memory but
+// the total resident size is bounded by the span count.
+type spanSet struct {
+	s []span
+}
+
+// covers reports whether the open interval (l, r) lies inside one span.
+func (ss *spanSet) covers(l, r int, c *counters) bool {
+	return covered(ss.s, l, r, c)
+}
+
+// add inserts the closed span v, merging any spans it overlaps or touches.
+func (ss *spanSet) add(v span, c *counters) {
+	n := len(ss.s)
+	c.work += bits16(n)
+	// First span with left endpoint > v.l.
+	i := sort.Search(n, func(k int) bool { return ss.s[k].l > v.l })
+	// Absorb a predecessor that reaches v.
+	if i > 0 && ss.s[i-1].r >= v.l {
+		i--
+		if ss.s[i].l < v.l {
+			v.l = ss.s[i].l
+		}
+		if ss.s[i].r > v.r {
+			v.r = ss.s[i].r
+		}
+	}
+	// Absorb successors v reaches.
+	j := i
+	for j < n && ss.s[j].l <= v.r {
+		c.work++
+		if ss.s[j].r > v.r {
+			v.r = ss.s[j].r
+		}
+		j++
+	}
+	if i == j {
+		ss.s = append(ss.s, span{})
+		copy(ss.s[i+1:], ss.s[i:])
+		ss.s[i] = v
+		return
+	}
+	ss.s[i] = v
+	ss.s = append(ss.s[:i+1], ss.s[j:]...)
+}
+
+func bits16(n int) int {
+	b := 1
+	for n > 1 {
+		n >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+package loglin
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// decideQueue decides FIFO-queue linearizability on the unambiguous
+// fragment (distinct enqueued values, no pending Deq). After matching, the
+// peel order of the queue is fully determined by four necessary conditions,
+// which are also jointly sufficient:
+//
+//  1. per-pair feasibility — each dequeue can follow its enqueue
+//     (checked in collect);
+//
+//  2. no dequeued value behind an undequeued one — if some never-dequeued
+//     w's enqueue provably precedes v's enqueue (retE_w <= invE_v), FIFO
+//     forces w out before v, which never happens;
+//
+//  3. no forced FIFO crossing — no two dequeued values v, w with v's
+//     enqueue forced before w's (retE_v <= invE_w) and w's dequeue forced
+//     before v's (retD_w <= invD_v). Larger forced cycles always contain a
+//     2-cycle: enqueue intervals and dequeue intervals are interval orders,
+//     whose incomparability is transitive enough that any cyclic chain of
+//     forced edges collapses to a crossing of two values. Deq-before-enq
+//     edges need no separate check: a forced ret(D_v) <= inv(E_w) edge that
+//     participates in a violation implies a per-pair or phase-2 violation
+//     already caught;
+//
+//  4. every empty dequeue has a free instant — an empty Deq with interval
+//     (inv, ret) needs a real instant not inside any forced-residency span;
+//     spans are merged and each empty is a coverage query.
+//
+// Sufficiency: when all four hold, a witness exists — place each enqueue as
+// early as allowed and each dequeue in FIFO order at the earliest feasible
+// instant; empties take their free instants, and values without forced
+// residency dodge them. The differential fuzzer enforces this claim against
+// Wing–Gong.
+func decideQueue(pv spec.PerValueMatched, ops []history.Op, c *counters) Result {
+	col, early := collect(pv, ops, c)
+	if early.V != 0 {
+		return early
+	}
+
+	// Phase 2: a dequeued value enqueued provably after some never-dequeued
+	// value is a FIFO violation.
+	minUndeqRet := inf
+	for _, p := range col.pairs {
+		c.work++
+		if !p.removed && p.retE < minUndeqRet {
+			minUndeqRet = p.retE
+		}
+	}
+	removed := make([]pair, 0, len(col.pairs))
+	for _, p := range col.pairs {
+		c.work++
+		c.steps++ // peel decision for this value
+		if !p.removed {
+			continue
+		}
+		if minUndeqRet <= p.invE {
+			return Result{V: No}
+		}
+		removed = append(removed, p)
+	}
+
+	// Phase 3: forced crossing sweep. Walk dequeued values by invD
+	// ascending; a second pointer (by retD ascending) admits every w whose
+	// dequeue is forced before the current v's (retD_w <= invD_v) into the
+	// candidate set, tracked as a running max of invE_w. v crosses some
+	// candidate iff retE_v <= max invE_w.
+	byInvD := removed
+	sort.Slice(byInvD, func(i, j int) bool { return byInvD[i].invD < byInvD[j].invD })
+	c.sorted(len(byInvD))
+	byRetD := make([]pair, len(removed))
+	copy(byRetD, removed)
+	sort.Slice(byRetD, func(i, j int) bool { return byRetD[i].retD < byRetD[j].retD })
+	c.sorted(len(byRetD))
+	maxCandInvE, j := -1, 0
+	for _, v := range byInvD {
+		for j < len(byRetD) && byRetD[j].retD <= v.invD {
+			c.work++
+			if byRetD[j].invE > maxCandInvE {
+				maxCandInvE = byRetD[j].invE
+			}
+			j++
+		}
+		c.work++
+		if maxCandInvE >= 0 && v.retE <= maxCandInvE {
+			return Result{V: No}
+		}
+	}
+
+	// Phase 4: every empty dequeue needs an instant free of all forced
+	// residency spans.
+	if len(col.empties) > 0 {
+		spans := make([]span, 0, len(col.pairs))
+		for _, p := range col.pairs {
+			c.work++
+			if s, ok := p.forced(); ok {
+				spans = append(spans, s)
+			}
+		}
+		merged := mergeSpans(spans, c)
+		for _, z := range col.empties {
+			c.steps++ // peel decision for this empty
+			if covered(merged, z.l, z.r, c) {
+				return Result{V: No}
+			}
+		}
+	}
+	return Result{V: Yes}
+}

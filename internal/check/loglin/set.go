@@ -1,0 +1,211 @@
+package loglin
+
+import (
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// decideSet decides set linearizability on the single-Add fragment: per
+// value, at most one Add (completed or pending) and no pending Remove or
+// Contains. The set's state is a product of independent per-value booleans
+// and every operation touches exactly one value, so by locality the history
+// is linearizable iff each value's sub-history is — linearizations of the
+// sub-histories interleave freely.
+//
+// With a single Add, a value's trajectory is absent*, one present window,
+// absent*: the window opens at the Add's point a and closes at the point r
+// of the (at most one) Remove that answered true, or never. Everything else
+// classifies against that window:
+//
+//   - Add answering false is impossible (it would need the value present
+//     before the only Add) — definitive No;
+//   - a second Remove=true is a No, as is any present-observation
+//     (Contains=true, Remove=true) with no Add at all;
+//   - Contains=true must overlap the window: a < ret(o) and inv(o) < r;
+//   - Contains=false and Remove=false must sit outside it: before a (needs
+//     inv(o) < a) or after r (needs ret(o) > r; impossible when the window
+//     never closes).
+//
+// Feasibility of choosing a and r against those constraints is decided by a
+// threshold scan: the relevant placements of a are just above the Add's
+// invocation or just above some absent-op's invocation (half-integer
+// instants, so no boundary ties), and for each, the latest admissible r is
+// the minimum return of the absent ops that can no longer go before a.
+// Sorting the absent ops by invocation with a suffix-minimum of returns
+// makes each probe a binary search.
+//
+// A pending Add whose value was observed (some Contains=true or
+// Remove=true) is forced — window opens, never-returning; an unobserved
+// pending Add is dropped, which is sound because in this fragment no other
+// response can depend on the dropped value's presence.
+func decideSet(ops []history.Op, c *counters) Result {
+	vals := make(map[int64]*setVal, 8)
+	var order []int64
+	get := func(v int64) *setVal {
+		sv := vals[v]
+		if sv == nil {
+			sv = &setVal{}
+			vals[v] = sv
+			order = append(order, v)
+		}
+		return sv
+	}
+	for i := range ops {
+		op := &ops[i]
+		c.work++
+		sv := get(op.Op.Arg)
+		switch op.Op.Method {
+		case spec.MethodAdd:
+			sv.adds++
+			if sv.adds >= 2 {
+				return Result{V: Ambiguous, Trigger: TriggerDuplicate}
+			}
+			if !op.Complete {
+				sv.pendingAdd, sv.invA = true, op.InvIdx
+				continue
+			}
+			switch op.Res.Kind {
+			case spec.KindTrue:
+				sv.completeAdd, sv.invA, sv.retA = true, op.InvIdx, op.RetIdx
+			case spec.KindFalse:
+				sv.addFalse = true
+			default:
+				return Result{V: Ambiguous, Trigger: TriggerModel}
+			}
+		case spec.MethodRemove:
+			if !op.Complete {
+				return Result{V: Ambiguous, Trigger: TriggerPendingRemove}
+			}
+			switch op.Res.Kind {
+			case spec.KindTrue:
+				sv.rem = append(sv.rem, span{op.InvIdx, op.RetIdx})
+			case spec.KindFalse:
+				sv.abs = append(sv.abs, span{op.InvIdx, op.RetIdx})
+			default:
+				return Result{V: Ambiguous, Trigger: TriggerModel}
+			}
+		case spec.MethodContains:
+			if !op.Complete {
+				return Result{V: Ambiguous, Trigger: TriggerPendingRemove}
+			}
+			switch op.Res.Kind {
+			case spec.KindTrue:
+				sv.pres = append(sv.pres, span{op.InvIdx, op.RetIdx})
+			case spec.KindFalse:
+				sv.abs = append(sv.abs, span{op.InvIdx, op.RetIdx})
+			default:
+				return Result{V: Ambiguous, Trigger: TriggerModel}
+			}
+		default:
+			return Result{V: Ambiguous, Trigger: TriggerModel}
+		}
+	}
+	for _, v := range order {
+		c.steps++ // peel decision for this value
+		if !vals[v].feasible(c) {
+			return Result{V: No}
+		}
+	}
+	return Result{V: Yes}
+}
+
+// setVal is one value's classified sub-history.
+type setVal struct {
+	adds        int
+	addFalse    bool
+	completeAdd bool
+	pendingAdd  bool
+	invA, retA  int
+	rem         []span // Remove answering true
+	pres        []span // Contains answering true
+	abs         []span // Contains/Remove answering false
+}
+
+// feasible reports whether the value's sub-history has a legal schedule.
+func (sv *setVal) feasible(c *counters) bool {
+	if sv.addFalse {
+		return false
+	}
+	if len(sv.rem) >= 2 {
+		return false
+	}
+	observed := len(sv.rem) > 0 || len(sv.pres) > 0
+	hasA, invA, retA := sv.completeAdd, sv.invA, sv.retA
+	if !hasA && sv.pendingAdd && observed {
+		hasA, retA = true, inf // forced: took effect, never returns
+	}
+	if !hasA {
+		return !observed
+	}
+	up, lp := inf, -1
+	for _, p := range sv.pres {
+		c.work++
+		if p.r < up {
+			up = p.r
+		}
+		if p.l > lp {
+			lp = p.l
+		}
+	}
+	ahi := retA
+	if up < ahi {
+		ahi = up
+	}
+	if len(sv.rem) == 0 {
+		// The window never closes: every absent op must precede a.
+		lo := invA
+		for _, b := range sv.abs {
+			c.work++
+			if b.l > lo {
+				lo = b.l
+			}
+		}
+		return lo < ahi
+	}
+	r := sv.rem[0]
+	low := r.l
+	if lp > low {
+		low = lp
+	}
+	abs := sv.abs
+	sort.Slice(abs, func(i, j int) bool { return abs[i].l < abs[j].l })
+	c.sorted(len(abs))
+	sufMin := make([]int, len(abs)+1)
+	sufMin[len(abs)] = inf
+	for i := len(abs) - 1; i >= 0; i-- {
+		c.work++
+		m := sufMin[i+1]
+		if abs[i].r < m {
+			m = abs[i].r
+		}
+		sufMin[i] = m
+	}
+	// try places a at the half-integer instant t+0.5; admissible iff a is
+	// inside the Add window before every present-return, and some r exists
+	// above max(inv(Remove), latest present-invocation, a) yet below both
+	// the Remove's return and every not-before-a absent op's return.
+	try := func(t int) bool {
+		if t < invA || t >= ahi {
+			return false
+		}
+		c.work += bits16(len(abs))
+		i := sort.Search(len(abs), func(k int) bool { return abs[k].l >= t+1 })
+		rhi := r.r
+		if sufMin[i] < rhi {
+			rhi = sufMin[i]
+		}
+		return low < rhi && t < rhi
+	}
+	if try(invA) {
+		return true
+	}
+	for _, b := range abs {
+		c.work++
+		if try(b.l) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+package loglin
+
+import (
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// decideStack decides LIFO-stack linearizability on the blip fragment:
+// distinct pushed values, no pending Pop, and every matched pair's push and
+// pop intervals overlap. An overlapping pair — a "blip" — can always be
+// linearized as an adjacent push;pop inside the common window: pushing a
+// value and immediately popping it is legal in any stack state, it leaves
+// the state unchanged, and the adjacent placement can dodge any finite set
+// of other instants (the window is a real interval). So after the matching
+// No-checks of collect, blips impose no constraints on each other; what
+// remains is:
+//
+//   - never-popped values, resident from retE on, ordered freely among
+//     themselves (nothing ever observes their relative order);
+//   - empty Pops, each needing an instant before every never-popped value's
+//     forced residency begins: free iff inv(empty) < min retE over
+//     never-popped values.
+//
+// A pair whose intervals do not overlap (retE <= invD) provably resides on
+// the stack for [retE, invD]; pops of other values must thread around it
+// and the per-value peel is no longer exact — that is TriggerResidency and
+// the exact search takes over.
+func decideStack(pv spec.PerValueMatched, ops []history.Op, c *counters) Result {
+	col, early := collect(pv, ops, c)
+	if early.V != 0 {
+		return early
+	}
+
+	minUnpoppedRet := inf
+	for _, p := range col.pairs {
+		c.work++
+		c.steps++ // peel decision for this value
+		if !p.removed {
+			if p.retE < minUnpoppedRet {
+				minUnpoppedRet = p.retE
+			}
+			continue
+		}
+		if p.retE <= p.invD {
+			// Forced residency: outside the blip fragment.
+			return Result{V: Ambiguous, Trigger: TriggerResidency}
+		}
+	}
+	for _, z := range col.empties {
+		c.work++
+		c.steps++ // peel decision for this empty
+		if minUnpoppedRet <= z.l {
+			// Every instant of the empty Pop has some never-popped value
+			// provably resident.
+			return Result{V: No}
+		}
+	}
+	return Result{V: Yes}
+}

@@ -94,13 +94,17 @@ func NoDetector(m spec.Model) Monitor {
 }
 
 // ForModel returns the best monitor available for the model. The B7
-// benchmarks drive the composition: on member histories the complete search
-// with memoisation is the fastest decider at realistic sizes, so the fast
-// monitors contribute only their sound No conditions, which refute
-// violations without exhausting the search.
+// benchmarks drive the composition: the constant-factor No-detectors refute
+// cheap violations first, then the log-linear decision tier (FastTier)
+// decides unambiguous histories outright, and only the ambiguous remainder
+// reaches the complete memoised search.
 func ForModel(m spec.Model) Monitor {
-	if det := NoDetector(m); det != nil {
-		return Hybrid(det, WG(m))
+	full := WG(m)
+	if ft := FastTier(m); ft != nil {
+		full = Hybrid(ft, full)
 	}
-	return WG(m)
+	if det := NoDetector(m); det != nil {
+		return Hybrid(det, full)
+	}
+	return full
 }

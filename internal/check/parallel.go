@@ -319,6 +319,8 @@ func (a *IncStats) add(b IncStats) {
 	a.SearchRebuilds += b.SearchRebuilds
 	a.SegExplored += b.SegExplored
 	a.ParallelRounds += b.ParallelRounds
+	a.FastTierHits += b.FastTierHits
+	a.FastTierFallbacks += b.FastTierFallbacks
 	a.GCRuns += b.GCRuns
 	a.DiscardedEvents += b.DiscardedEvents
 	a.FrontierOverflows += b.FrontierOverflows

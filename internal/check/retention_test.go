@@ -383,3 +383,81 @@ func TestRetentionOverflowRecovers(t *testing.T) {
 		t.Fatal("phantom dequeue accepted after overflow recovery")
 	}
 }
+
+// normTierStats zeroes the fields that legitimately differ between a tier-on
+// and a tier-off run: the tier's own counters, and the persistent-search
+// counters for the work the tier spared (resumes, rebuilds, explored
+// configurations — the search the tier answered for simply never ran), plus
+// ParallelRounds as in normStats. Every other counter — verdicts, segment
+// checks, compactions, commit cuts, GC and frontier gauges — must be
+// bit-identical: a tier answer leaves retention and commit-cut bookkeeping
+// exactly as if the tier never existed.
+func normTierStats(s IncStats) IncStats {
+	s.FastTierHits, s.FastTierFallbacks = 0, 0
+	s.SearchResumes, s.SearchRebuilds, s.SegExplored = 0, 0, 0
+	s.ParallelRounds = 0
+	return s
+}
+
+// runTierOnOff drives the burst stream through paired tier-on/tier-off
+// retained monitors at widths 1, 2 and 4 under pol — the same drive shape as
+// runBudgetWidths — failing on any divergence of verdict, frontier size, GC
+// horizon, retained window or normalized stats within a pair.
+func runTierOnOff(t *testing.T, m spec.Model, bursts []history.History, pol RetentionPolicy, label string) IncStats {
+	t.Helper()
+	widths := []int{1, 2, 4}
+	type pairMon struct{ on, off *Incremental }
+	pairs := make([]pairMon, len(widths))
+	for i, w := range widths {
+		base := []IncOption{WithRetention(pol)}
+		if w > 1 {
+			base = append(base, WithParallelism(w))
+		}
+		pairs[i] = pairMon{
+			on:  NewIncremental(m, base...),
+			off: NewIncremental(m, append(append([]IncOption{}, base...), WithFastTier(false))...),
+		}
+	}
+	for k, b := range bursts {
+		for i, w := range widths {
+			von, voff := pairs[i].on.Append(b), pairs[i].off.Append(b)
+			if von != voff {
+				t.Fatalf("%s: burst %d width %d: tier-on verdict %v, tier-off %v", label, k, w, von, voff)
+			}
+			on, off := pairs[i].on, pairs[i].off
+			if on.FrontierSize() != off.FrontierSize() ||
+				on.Discarded() != off.Discarded() ||
+				len(on.History()) != len(off.History()) {
+				t.Fatalf("%s: burst %d width %d: retention diverged (frontier %d vs %d, discarded %d vs %d, window %d vs %d)",
+					label, k, w, on.FrontierSize(), off.FrontierSize(),
+					on.Discarded(), off.Discarded(), len(on.History()), len(off.History()))
+			}
+			if son, soff := normTierStats(on.Stats()), normTierStats(off.Stats()); son != soff {
+				t.Fatalf("%s: burst %d width %d: stats diverged beyond the tier/search counters\non:  %+v\noff: %+v",
+					label, k, w, son, soff)
+			}
+		}
+	}
+	return pairs[0].on.Stats()
+}
+
+// TestFastTierRetentionEquivalence sweeps the supported models through
+// retained streams (legal and mutated) with the log-linear tier on and off:
+// everything observable except the tier/search counters must match, and the
+// tier must demonstrably have fired somewhere in the sweep.
+func TestFastTierRetentionEquivalence(t *testing.T) {
+	hits := 0
+	for _, m := range []spec.Model{spec.Queue(), spec.Stack(), spec.Set(), spec.PQueue()} {
+		for seed := int64(1); seed <= 5; seed++ {
+			pol := RetentionPolicy{GCBatch: 1 + int(seed)%4}
+			h := trace.RandomLinearizable(m, seed*13, 3, 30)
+			st := runTierOnOff(t, m, splitBursts(h, 4+int(seed)), pol, m.Name())
+			hits += st.FastTierHits
+			st = runTierOnOff(t, m, splitBursts(trace.Mutate(h, seed*59), 4+int(seed)), pol, m.Name()+" mutated")
+			hits += st.FastTierHits
+		}
+	}
+	if hits == 0 {
+		t.Fatal("the fast tier never decided a segment across the whole sweep")
+	}
+}

@@ -51,9 +51,10 @@ type Decoupled struct {
 	batches  chan tupleBatch
 	full     bool
 
-	retain   bool
-	policy   check.RetentionPolicy
-	parallel int
+	retain     bool
+	policy     check.RetentionPolicy
+	parallel   int
+	noFastTier bool
 	// epochs[p] tracks, for process p's result cons-list, how deep each
 	// verifier shard (its owning scanner and the dispatcher) has consumed, so
 	// the scanner can release the prefix every shard is past.
@@ -104,11 +105,12 @@ type tupleBatch struct {
 type DecoupledOption func(*decoupledCfg)
 
 type decoupledCfg struct {
-	drvOpts  []Option
-	full     bool
-	retain   bool
-	policy   check.RetentionPolicy
-	parallel int
+	drvOpts    []Option
+	full       bool
+	retain     bool
+	policy     check.RetentionPolicy
+	parallel   int
+	noFastTier bool
 }
 
 // WithDecoupledDRV forwards options to the underlying A* construction.
@@ -149,6 +151,14 @@ func WithDecoupledParallelism(n int) DecoupledOption {
 	return func(c *decoupledCfg) { c.parallel = n }
 }
 
+// WithDecoupledFastTier enables or disables the dispatcher monitor's
+// log-linear decision tier (check.WithFastTier via WithVerifierFastTier; on
+// by default). Meaningless under WithFullRecheck, whose loop has no
+// incremental monitor — callers should reject that combination.
+func WithDecoupledFastTier(enabled bool) DecoupledOption {
+	return func(c *decoupledCfg) { c.noFastTier = !enabled }
+}
+
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
 // onReport is called from the verification pipeline when a violation is
 // found; reports are deduplicated (one per violation — violations are sticky
@@ -161,17 +171,18 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 		opt(&cfg)
 	}
 	d := &Decoupled{
-		n:        n,
-		drv:      NewDRV(inner, n, cfg.drvOpts...),
-		obj:      obj,
-		m:        snapshot.NewAfek[*conslist.Node[Tuple]](n),
-		res:      make([]*conslist.Node[Tuple], n),
-		onReport: onReport,
-		stop:     make(chan struct{}),
-		full:     cfg.full,
-		retain:   cfg.retain && !cfg.full,
-		policy:   cfg.policy,
-		parallel: cfg.parallel,
+		n:          n,
+		drv:        NewDRV(inner, n, cfg.drvOpts...),
+		obj:        obj,
+		m:          snapshot.NewAfek[*conslist.Node[Tuple]](n),
+		res:        make([]*conslist.Node[Tuple], n),
+		onReport:   onReport,
+		stop:       make(chan struct{}),
+		full:       cfg.full,
+		retain:     cfg.retain && !cfg.full,
+		policy:     cfg.policy,
+		parallel:   cfg.parallel,
+		noFastTier: cfg.noFastTier,
 	}
 	if verifiers <= 0 {
 		return d
@@ -296,6 +307,9 @@ func (d *Decoupled) dispatch(scanners int) {
 	}
 	if d.parallel > 1 {
 		ivOpts = append(ivOpts, WithVerifierParallelism(d.parallel))
+	}
+	if d.noFastTier {
+		ivOpts = append(ivOpts, WithVerifierFastTier(false))
 	}
 	iv := NewIncVerifier(d.n, d.obj, ivOpts...)
 	reported := false

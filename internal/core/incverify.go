@@ -67,6 +67,7 @@ type IncVerifier struct {
 	retain       bool
 	retainPolicy check.RetentionPolicy
 	parallelism  int                   // monitor fan-out width; <=1 sequential
+	noFastTier   bool                  // disable the monitor's log-linear fast tier
 	respHead     int                   // response events the monitor GC'd (tuples already released)
 	baseAnn      []int                 // per-process announce floor: invocations behind the GC horizon
 	annHeads     []*conslist.Node[Ann] // heads of the largest view seen, for announce truncation
@@ -118,6 +119,13 @@ func WithVerifierParallelism(n int) IncVerifierOption {
 	return func(iv *IncVerifier) { iv.parallelism = n }
 }
 
+// WithVerifierFastTier enables or disables the inner monitor's log-linear
+// decision tier (check.WithFastTier; on by default). Verdicts are unchanged
+// either way — the knob exists so soaks can measure the tier's contribution.
+func WithVerifierFastTier(enabled bool) IncVerifierOption {
+	return func(iv *IncVerifier) { iv.noFastTier = !enabled }
+}
+
 // NewIncVerifier builds the pipeline for n processes monitoring obj.
 func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVerifier {
 	iv := &IncVerifier{
@@ -144,6 +152,9 @@ func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVer
 		}
 		if iv.parallelism > 1 {
 			incOpts = append(incOpts, check.WithParallelism(iv.parallelism))
+		}
+		if iv.noFastTier {
+			incOpts = append(incOpts, check.WithFastTier(false))
 		}
 		iv.inc = check.NewIncremental(m, incOpts...)
 	}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/check/loglin"
 	"repro/internal/core"
 	"repro/internal/genlin"
 	"repro/internal/history"
@@ -234,4 +235,46 @@ func RunShardCheck(s B11Spec, hs []history.History, workers int) (time.Duration,
 		}
 	}
 	return elapsed, true
+}
+
+// B13Model is the model of the B13 fast-tier workload.
+func B13Model() spec.Model { return spec.Queue() }
+
+// B13History regenerates the B13 heavy-tail workload: the dense 4-process
+// 96-operation queue history of seed 2 — the pathological seed the B11 shard
+// lists deliberately omit, whose one-shot Wing–Gong search explores
+// thousands of configurations. The log-linear fast tier (internal/check/
+// loglin) decides it in a few dozen peel steps, which is exactly the gap the
+// B13 benchmark and perfgate gate measure. A committed copy is pinned at
+// internal/check/testdata/b11_queue_seed2.json (fasttier_tail_test.go
+// asserts byte-for-byte agreement with this generator).
+func B13History() history.History {
+	return trace.RandomLinearizable(spec.Queue(), 2, 4, 96)
+}
+
+// B13Result carries the B13 gate numbers: the exact search's explored
+// configurations vs the tier's macro peel steps on the same history, and
+// verdict agreement.
+type B13Result struct {
+	Explored int  // Wing–Gong explored configurations
+	Steps    int  // fast-tier macro peel decisions
+	Agree    bool // tier decided, and its verdict equals the search's
+}
+
+// RunFastTier runs both deciders on the B13 workload. Shared by the B13
+// benchmark legs and the cmd/perfgate gate so they cannot drift onto
+// different workloads.
+func RunFastTier() B13Result {
+	m := B13Model()
+	h := B13History()
+	r := check.Linearizable(m, h)
+	ft := check.FastTier(m)
+	v := ft.Check(h)
+	d := loglin.Decide(m, h)
+	decided := d.V == loglin.Yes || d.V == loglin.No
+	return B13Result{
+		Explored: r.Explored,
+		Steps:    d.Steps,
+		Agree:    decided && (v == check.Yes) == r.Ok,
+	}
 }
