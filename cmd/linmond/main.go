@@ -1,0 +1,67 @@
+// Command linmond runs the networked monitoring service: a daemon that
+// accepts NDJSON monitoring sessions (internal/monitorapi), maintains one
+// incremental linearizability monitor per tenant/object, fans independent
+// objects across a shared worker pool, and streams verdicts, resource gauges
+// and final stats back to each client.
+//
+// Usage:
+//
+//	linmond -listen :7474 -workers 4
+//	linmond -listen 127.0.0.1:0 -window 16 -queue 512 -gauge-every 8
+//
+// Clients connect with internal/monitorclient (or anything speaking the wire
+// format, e.g. cmd/stress -net). Monitor configuration — retention policy,
+// parallelism, fast tier — arrives per object in the session-open frame as a
+// check.Config, so the daemon itself has no per-object flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/monitorserver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	listen := flag.String("listen", "127.0.0.1:7474", "address to listen on")
+	workers := flag.Int("workers", 1, "cross-object worker pool width")
+	queue := flag.Int("queue", 256, "global ingest queue depth (batches)")
+	window := flag.Int("window", 8, "default per-session credit window (max unacked batches)")
+	gaugeEvery := flag.Int("gauge-every", 16, "stream a gauge frame every n acks (<0 disables)")
+	flag.Parse()
+
+	if *workers < 1 || *queue < 1 || *window < 1 {
+		fmt.Fprintln(os.Stderr, "-workers, -queue and -window must be positive")
+		return 2
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "listen: %v\n", err)
+		return 2
+	}
+	srv := monitorserver.Serve(ln, monitorserver.Options{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Window:     *window,
+		GaugeEvery: *gaugeEvery,
+	})
+	log.Printf("linmond: listening on %s (workers=%d queue=%d window=%d)",
+		srv.Addr(), *workers, *queue, *window)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("linmond: shutting down")
+	srv.Close()
+	return 0
+}

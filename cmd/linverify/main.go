@@ -2,18 +2,27 @@
 // linearizable with respect to one of the built-in sequential objects — the
 // predicate P_O of §3 as a standalone tool.
 //
-// The history is a JSON array of events read from a file or stdin:
+// The history is read from a file or stdin in the versioned interchange
+// format (internal/monitorapi):
 //
-//	[
-//	  {"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5},
-//	  {"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"},
-//	  {"kind":"inv","proc":2,"id":2,"op":"Deq"},
-//	  {"kind":"ret","proc":2,"id":2,"op":"Deq","res":"5"}
-//	]
+//	{
+//	  "version": 1,
+//	  "model": "queue",
+//	  "events": [
+//	    {"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5},
+//	    {"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"},
+//	    {"kind":"inv","proc":2,"id":2,"op":"Deq"},
+//	    {"kind":"ret","proc":2,"id":2,"op":"Deq","res":"5"}
+//	  ]
+//	}
+//
+// The legacy unversioned form — the bare events array on its own — is still
+// accepted. An envelope's "model" names the object to verify against;
+// -model overrides it (and is the only source for legacy files).
 //
 // Usage:
 //
-//	linverify -model queue history.json
+//	linverify history.json
 //	cat history.json | linverify -model stack -witness
 package main
 
@@ -24,7 +33,7 @@ import (
 	"os"
 
 	"repro/internal/check"
-	"repro/internal/history"
+	"repro/internal/monitorapi"
 	"repro/internal/spec"
 )
 
@@ -33,16 +42,10 @@ func main() {
 }
 
 func run() int {
-	model := flag.String("model", "queue", "sequential object: queue, stack, set, pqueue, counter, register, consensus")
+	model := flag.String("model", "", "sequential object: queue, stack, set, pqueue, counter, register, consensus (default: the envelope's model, or queue)")
 	witness := flag.Bool("witness", false, "print a linearization or the shortest violating prefix")
 	render := flag.Bool("render", false, "draw the history as per-process lanes")
 	flag.Parse()
-
-	m, ok := spec.ByName(*model)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
-		return 2
-	}
 
 	var data []byte
 	var err error
@@ -56,9 +59,21 @@ func run() int {
 		return 2
 	}
 
-	h, err := history.DecodeJSON(data)
+	h, envModel, err := monitorapi.DecodeHistory(data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "invalid history: %v\n", err)
+		return 2
+	}
+	name := *model
+	if name == "" {
+		name = envModel
+	}
+	if name == "" {
+		name = "queue"
+	}
+	m, ok := spec.ByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q\n", name)
 		return 2
 	}
 	if *render {

@@ -11,6 +11,17 @@
 //	stress -model counter -decoupled -fullrecheck -ops 2000   # paper-literal loop
 //	stress -model counter -decoupled -retain -ops 25000       # bounded-memory soak
 //	stress -model queue -decoupled -ops 5000 -cpuprofile cpu.out -memprofile mem.out
+//
+// With -net the soak runs against a linmond monitoring service instead of an
+// in-process pipeline: each seed streams a generated history to the server
+// (one session per seed, monitor configuration carried in the open frame)
+// and cross-checks the streamed verdict against an in-process monitor run on
+// the same batches. -fault in net mode perturbs the recorded history
+// (trace.Mutate) rather than wrapping an implementation:
+//
+//	linmond -listen 127.0.0.1:7474 &
+//	stress -net -addr 127.0.0.1:7474 -model queue -procs 4 -ops 2000
+//	stress -net -addr 127.0.0.1:7474 -model stack -retain -fault mutate
 package main
 
 import (
@@ -53,6 +64,9 @@ func run() int {
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the soak to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at soak end to this file")
+	netMode := flag.Bool("net", false, "stream the soak to a linmond server instead of an in-process pipeline")
+	addr := flag.String("addr", "127.0.0.1:7474", "net: linmond server address")
+	netbatch := flag.Int("netbatch", 128, "net: events per wire batch")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -88,6 +102,40 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "unknown model %q\n", *model)
 		return 2
 	}
+
+	if *netMode {
+		if *fullrecheck || *decoupled {
+			fmt.Fprintln(os.Stderr, "-net replaces the in-process pipeline; it is incompatible with -decoupled and -fullrecheck")
+			return 2
+		}
+		if *netbatch < 1 {
+			fmt.Fprintf(os.Stderr, "-netbatch %d: need at least one event per batch\n", *netbatch)
+			return 2
+		}
+		if *fault != "" && *fault != "mutate" {
+			// Net mode streams a recorded history, so there is no faulty
+			// implementation to wrap; the only fault is a perturbed record.
+			fmt.Fprintf(os.Stderr, "net mode supports -fault mutate (trace perturbation), not %q\n", *fault)
+			return 2
+		}
+		cfg := check.Config{NoFastTier: !*fasttier}
+		if *workers > 1 {
+			cfg.Parallelism = *workers
+		}
+		if *retain {
+			cfg.Retain = true
+			cfg.Retention = check.RetentionPolicy{GCBatch: *gcbatch, CommitCuts: *commitcuts}
+		}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor config: %v\n", err)
+			return 2
+		}
+		return runNet(m, netCfg{
+			addr: *addr, batch: *netbatch, fault: *fault,
+			procs: *procs, ops: *ops, seeds: *seeds, monitor: cfg,
+		})
+	}
+
 	var mode impls.FaultMode
 	switch *fault {
 	case "":

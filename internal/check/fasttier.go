@@ -56,10 +56,11 @@ func (ft fastTierMonitor) Check(h history.History) Verdict {
 // support). The tier short-circuits segment checks whose segment is the
 // whole history from the initial state, leaving all persistent-search,
 // retention and commit-cut state untouched; ambiguous histories fall back
-// to the exact engine and count FastTierFallbacks.
+// to the exact engine and count FastTierFallbacks. Thin wrapper over
+// Config.NoFastTier.
 func WithFastTier(enabled bool) IncOption {
 	return func(inc *Incremental) {
-		inc.fastTier = enabled
+		inc.cfg.NoFastTier = !enabled
 	}
 }
 

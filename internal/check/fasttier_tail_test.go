@@ -1,4 +1,4 @@
-package check
+package check_test
 
 import (
 	"math/bits"
@@ -6,8 +6,10 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/check/loglin"
 	"repro/internal/history"
+	"repro/internal/monitorapi"
 	"repro/internal/spec"
 	"repro/internal/trace"
 )
@@ -17,16 +19,23 @@ import (
 // cost tail (thousands of explored configurations for under two hundred
 // events). It is exactly trace.RandomLinearizable(spec.Queue(), 2, 4, 96);
 // the committed copy pins the bytes so a generator change cannot silently
-// swap the regression workload.
+// swap the regression workload. The file is read through the shared
+// interchange codec (monitorapi.DecodeHistory) — the same entry point
+// cmd/linverify uses — so the committed seed also pins the legacy
+// bare-array form of the format. (External test package: monitorapi imports
+// check, so an internal test here would be an import cycle.)
 func loadTailSeed(t *testing.T) history.History {
 	t.Helper()
 	data, err := os.ReadFile(filepath.Join("testdata", "b11_queue_seed2.json"))
 	if err != nil {
 		t.Fatalf("reading committed seed: %v", err)
 	}
-	h, err := history.DecodeJSON(data)
+	h, model, err := monitorapi.DecodeHistory(data)
 	if err != nil {
 		t.Fatalf("decoding committed seed: %v", err)
+	}
+	if model != "" {
+		t.Fatalf("bare-array seed decoded with model %q, want none", model)
 	}
 	gen := trace.RandomLinearizable(spec.Queue(), 2, 4, 96)
 	if len(h) != len(gen) {
@@ -49,7 +58,7 @@ func TestFastTierHeavyTail(t *testing.T) {
 	h := loadTailSeed(t)
 	m := spec.Queue()
 
-	r := Linearizable(m, h)
+	r := check.Linearizable(m, h)
 	d := loglin.Decide(m, h)
 
 	if d.V != loglin.Yes && d.V != loglin.No {
@@ -77,8 +86,8 @@ func TestFastTierHeavyTail(t *testing.T) {
 	// Retention-mode incremental engine: cuts re-enumerate frontiers from the
 	// events alone, so the tier's Yes is usable outright — the exact search
 	// must never run.
-	inc := NewIncremental(m, WithRetention(RetentionPolicy{}))
-	if v := inc.Append(h); v != Yes {
+	inc := check.NewIncremental(m, check.WithRetention(check.RetentionPolicy{}))
+	if v := inc.Append(h); v != check.Yes {
 		t.Fatalf("retention incremental verdict %v, want Yes", v)
 	}
 	if st := inc.Stats(); st.FastTierHits == 0 || st.SegExplored != 0 {
@@ -89,8 +98,8 @@ func TestFastTierHeavyTail(t *testing.T) {
 	// Full-witness mode on a history with quiescent moments must discard the
 	// tier's Yes (compaction needs the search's witness) and still answer
 	// correctly through the exact search.
-	fw := NewIncremental(m)
-	if v := fw.Append(h); v != Yes {
+	fw := check.NewIncremental(m)
+	if v := fw.Append(h); v != check.Yes {
 		t.Fatalf("full-witness incremental verdict %v, want Yes", v)
 	}
 	if st := fw.Stats(); st.FastTierFallbacks == 0 {

@@ -57,6 +57,7 @@ import (
 type Incremental struct {
 	model  spec.Model
 	noDet  Monitor // sound necessary-condition monitor; nil if the model has none
+	cfg    Config  // as given; the fields below are derived from it at construction
 	retain bool
 	policy RetentionPolicy
 
@@ -116,19 +117,22 @@ type cutMark struct {
 // exact-set enumeration exceeds StateBudget or MaxFrontierStates the monitor
 // skips the cut — never approximates — and retries at the next quiescent
 // point, temporarily retaining more.
+// The JSON tags are the wire form used by Config (monitorapi sessions and
+// the interchange tooling); renaming one is a wire-format change and needs a
+// protocol version bump.
 type RetentionPolicy struct {
 	// KeepEvents is how many committed events to keep behind the frontier for
 	// diagnostic context. GC cuts at the most recent quiescent cut at least
 	// KeepEvents behind the current one. Default 0.
-	KeepEvents int
+	KeepEvents int `json:"keep_events,omitempty"`
 	// GCBatch is the minimum number of discardable events worth a GC pass;
 	// smaller prefixes are kept until more commit. Default 64.
-	GCBatch int
+	GCBatch int `json:"gc_batch,omitempty"`
 	// StateBudget caps the configurations explored beyond the linear minimum
 	// when enumerating the exact frontier set at a cut. Default 1 << 17.
-	StateBudget int
+	StateBudget int `json:"state_budget,omitempty"`
 	// MaxFrontierStates caps the size of the exact frontier set. Default 16.
-	MaxFrontierStates int
+	MaxFrontierStates int `json:"max_frontier_states,omitempty"`
 	// CommitCuts opts strongly-ordered models (spec.StronglyOrdered: queue,
 	// stack, priority queue) in to commit-point-order cuts: the monitor may
 	// commit a prefix at a point straddled only by unpinned producer
@@ -137,7 +141,7 @@ type RetentionPolicy struct {
 	// commitcut.go for the cut rule and its exactness argument). Ignored —
 	// today's quiescent-cut-only behaviour — for models without the
 	// capability. Default false.
-	CommitCuts bool
+	CommitCuts bool `json:"commit_cuts,omitempty"`
 }
 
 func (p RetentionPolicy) withDefaults() RetentionPolicy {
@@ -162,11 +166,13 @@ type IncOption func(*Incremental)
 // WithRetention opts in to bounded-memory monitoring under the given policy
 // (zero values take defaults): committed prefixes behind the quiescent-cut
 // frontier are garbage-collected, summarised as the exact set of sequential
-// states any of their linearizations can reach.
+// states any of their linearizations can reach. Thin wrapper over Config
+// (sets Retain and Retention); prefer assembling a Config when the
+// configuration travels — this option remains for per-knob call sites.
 func WithRetention(p RetentionPolicy) IncOption {
 	return func(inc *Incremental) {
-		inc.retain = true
-		inc.policy = p.withDefaults()
+		inc.cfg.Retain = true
+		inc.cfg.Retention = p
 	}
 }
 
@@ -177,17 +183,14 @@ func WithRetention(p RetentionPolicy) IncOption {
 // engine's under any scheduling — the join commits outcomes in frontier
 // order up to the first witness — so parallelism is purely a latency knob.
 // Multi-state frontiers only arise under WithRetention; without it the
-// option is accepted but the fan-out never triggers.
+// option is accepted but the fan-out never triggers. Thin wrapper over
+// Config.Parallelism.
 func WithParallelism(n int) IncOption {
 	return func(inc *Incremental) {
 		if n < 1 {
 			n = 1
 		}
-		inc.workers = n
-		if n > 1 {
-			inc.pool = &stateset.Pool{}
-			inc.wstats = make([]WorkerStat, n)
-		}
+		inc.cfg.Parallelism = n
 	}
 }
 
@@ -225,12 +228,14 @@ type IncStats struct {
 }
 
 // NewIncremental returns an incremental monitor for the model, positioned at
-// the empty history (which is trivially a member).
+// the empty history (which is trivially a member). Options mutate one Config
+// (the last write to a knob wins, WithConfig replaces all of them), which is
+// then realised in a single place — so an option-built monitor and a
+// Config-built monitor with the same final Config are the same monitor.
 func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	inc := &Incremental{
 		model:     m,
 		noDet:     NoDetector(m),
-		fastTier:  true,
 		frontier:  []spec.State{m.Init()},
 		searches:  make([]*segSearch, 1),
 		pendingOp: make(map[int]uint64),
@@ -240,7 +245,17 @@ func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	for _, opt := range opts {
 		opt(inc)
 	}
-	inc.fastTier = inc.fastTier && loglin.Supported(m)
+	inc.retain = inc.cfg.Retain
+	inc.policy = inc.cfg.Retention.withDefaults()
+	inc.fastTier = !inc.cfg.NoFastTier && loglin.Supported(m)
+	inc.workers = inc.cfg.Parallelism
+	if inc.workers < 1 {
+		inc.workers = 1
+	}
+	if inc.workers > 1 {
+		inc.pool = &stateset.Pool{}
+		inc.wstats = make([]WorkerStat, inc.workers)
+	}
 	if inc.retain {
 		inc.dead = make([]bool, 1)
 		if inc.policy.CommitCuts {
@@ -252,6 +267,12 @@ func NewIncremental(m spec.Model, opts ...IncOption) *Incremental {
 	inc.stats.FrontierStates = 1
 	return inc
 }
+
+// Config returns the configuration the monitor was built with (as given —
+// retention defaults are applied internally, not reflected back). The
+// monitoring service uses it to refuse a session reopen whose configuration
+// disagrees with the live monitor's.
+func (inc *Incremental) Config() Config { return inc.cfg }
 
 // Append extends the monitored history with delta and returns the verdict for
 // the extended history. The result equals IsLinearizable on the whole history

@@ -244,7 +244,9 @@ type Shards struct {
 }
 
 // NewShards builds one monitor per model, each configured with opts; workers
-// bounds the cross-shard fan-out (<=1 runs shards inline, in order).
+// bounds the cross-shard fan-out (<=1 runs shards inline, in order). models
+// may be empty: a long-lived deployment (the monitoring service) starts with
+// no shards and grows the set with Add as objects appear.
 func NewShards(models []spec.Model, workers int, opts ...IncOption) *Shards {
 	if workers < 1 {
 		workers = 1
@@ -259,6 +261,17 @@ func NewShards(models []spec.Model, workers int, opts ...IncOption) *Shards {
 		s.verdicts[i] = Yes
 	}
 	return s
+}
+
+// Add appends a fresh monitor for m, configured with opts, to the shard set
+// and returns its index. The per-shard verdict starts at Yes (the empty
+// history is a member). Like Append, Add must be called by the single
+// driving goroutine — the monitoring service funnels both through its
+// dispatcher.
+func (s *Shards) Add(m spec.Model, opts ...IncOption) int {
+	s.monitors = append(s.monitors, NewIncremental(m, opts...))
+	s.verdicts = append(s.verdicts, Yes)
+	return len(s.monitors) - 1
 }
 
 // Append extends shard i with deltas[i] for every shard and returns the

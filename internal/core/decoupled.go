@@ -51,10 +51,8 @@ type Decoupled struct {
 	batches  chan tupleBatch
 	full     bool
 
-	retain     bool
-	policy     check.RetentionPolicy
-	parallel   int
-	noFastTier bool
+	monitor check.Config // dispatcher monitor configuration (Retain cleared under full recheck)
+	retain  bool         // monitor.Retain — the assembler/scanner release machinery is on
 	// epochs[p] tracks, for process p's result cons-list, how deep each
 	// verifier shard (its owning scanner and the dispatcher) has consumed, so
 	// the scanner can release the prefix every shard is past.
@@ -105,12 +103,9 @@ type tupleBatch struct {
 type DecoupledOption func(*decoupledCfg)
 
 type decoupledCfg struct {
-	drvOpts    []Option
-	full       bool
-	retain     bool
-	policy     check.RetentionPolicy
-	parallel   int
-	noFastTier bool
+	drvOpts []Option
+	full    bool
+	monitor check.Config
 }
 
 // WithDecoupledDRV forwards options to the underlying A* construction.
@@ -124,6 +119,21 @@ func WithFullRecheck() DecoupledOption {
 	return func(c *decoupledCfg) { c.full = true }
 }
 
+// WithDecoupledConfig configures the dispatcher's monitor with a whole
+// check.Config at once (via WithVerifierConfig) — the option a serialised
+// configuration (a monitorapi session, a CLI profile) lands on. Retention
+// additionally turns on the pipeline's own release machinery: the assembler
+// drops tuples and truncates announce lists behind the GC horizon, and
+// scanners release result cons-list prefixes once every verifier shard has
+// consumed past them. Incompatible with WithFullRecheck (the paper-literal
+// loop has no incremental monitor); full-recheck wins and the Config's
+// retention is dropped if both are given. The per-knob wrappers below mutate
+// the same Config (last write per knob wins; WithDecoupledConfig replaces
+// all of them).
+func WithDecoupledConfig(mc check.Config) DecoupledOption {
+	return func(c *decoupledCfg) { c.monitor = mc }
+}
+
 // WithDecoupledRetention bounds the verification pipeline's memory to the
 // monitoring window instead of the history length (zero policy values take
 // defaults): the monitor garbage-collects committed prefixes behind its
@@ -131,9 +141,10 @@ func WithFullRecheck() DecoupledOption {
 // and truncates announce lists behind the GC horizon, and scanners release
 // result cons-list prefixes once every verifier shard has consumed past them
 // (conslist.Epoch). Incompatible with WithFullRecheck, whose loop re-reads
-// the whole sketch by definition; full-recheck wins if both are given.
+// the whole sketch by definition; full-recheck wins if both are given. Thin
+// wrapper over check.Config (WithDecoupledConfig).
 func WithDecoupledRetention(p check.RetentionPolicy) DecoupledOption {
-	return func(c *decoupledCfg) { c.retain = true; c.policy = p }
+	return func(c *decoupledCfg) { c.monitor.Retain = true; c.monitor.Retention = p }
 }
 
 // WithDecoupledParallelism gives the dispatcher's monitor a worker pool of
@@ -146,17 +157,19 @@ func WithDecoupledRetention(p check.RetentionPolicy) DecoupledOption {
 // parallelise); full-recheck wins if both are given. Only effective together
 // with WithDecoupledRetention: the full-witness monitor keeps a single-state
 // frontier, so without retention the pool never fans out (accepted but a
-// no-op, as check.WithParallelism documents).
+// no-op, as check.WithParallelism documents). Thin wrapper over check.Config
+// (WithDecoupledConfig).
 func WithDecoupledParallelism(n int) DecoupledOption {
-	return func(c *decoupledCfg) { c.parallel = n }
+	return func(c *decoupledCfg) { c.monitor.Parallelism = n }
 }
 
 // WithDecoupledFastTier enables or disables the dispatcher monitor's
 // log-linear decision tier (check.WithFastTier via WithVerifierFastTier; on
 // by default). Meaningless under WithFullRecheck, whose loop has no
-// incremental monitor — callers should reject that combination.
+// incremental monitor — callers should reject that combination. Thin wrapper
+// over check.Config (WithDecoupledConfig).
 func WithDecoupledFastTier(enabled bool) DecoupledOption {
-	return func(c *decoupledCfg) { c.noFastTier = !enabled }
+	return func(c *decoupledCfg) { c.monitor.NoFastTier = !enabled }
 }
 
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
@@ -170,19 +183,21 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 	for _, opt := range opts {
 		opt(&cfg)
 	}
+	if cfg.full {
+		cfg.monitor.Retain = false
+		cfg.monitor.Retention = check.RetentionPolicy{}
+	}
 	d := &Decoupled{
-		n:          n,
-		drv:        NewDRV(inner, n, cfg.drvOpts...),
-		obj:        obj,
-		m:          snapshot.NewAfek[*conslist.Node[Tuple]](n),
-		res:        make([]*conslist.Node[Tuple], n),
-		onReport:   onReport,
-		stop:       make(chan struct{}),
-		full:       cfg.full,
-		retain:     cfg.retain && !cfg.full,
-		policy:     cfg.policy,
-		parallel:   cfg.parallel,
-		noFastTier: cfg.noFastTier,
+		n:        n,
+		drv:      NewDRV(inner, n, cfg.drvOpts...),
+		obj:      obj,
+		m:        snapshot.NewAfek[*conslist.Node[Tuple]](n),
+		res:      make([]*conslist.Node[Tuple], n),
+		onReport: onReport,
+		stop:     make(chan struct{}),
+		full:     cfg.full,
+		monitor:  cfg.monitor,
+		retain:   cfg.monitor.Retain,
 	}
 	if verifiers <= 0 {
 		return d
@@ -290,8 +305,8 @@ func (d *Decoupled) scanLoop(owned []int) {
 // releaseBatch is the minimum number of consumed nodes worth a truncation
 // walk.
 func (d *Decoupled) releaseBatch() int {
-	if d.policy.GCBatch > 0 {
-		return d.policy.GCBatch
+	if d.monitor.Retention.GCBatch > 0 {
+		return d.monitor.Retention.GCBatch
 	}
 	return 64
 }
@@ -301,17 +316,7 @@ func (d *Decoupled) releaseBatch() int {
 // retention, reclaims the result lists itself — it is the only consumer).
 func (d *Decoupled) dispatch(scanners int) {
 	defer d.wg.Done()
-	var ivOpts []IncVerifierOption
-	if d.retain {
-		ivOpts = append(ivOpts, WithVerifierRetention(d.policy))
-	}
-	if d.parallel > 1 {
-		ivOpts = append(ivOpts, WithVerifierParallelism(d.parallel))
-	}
-	if d.noFastTier {
-		ivOpts = append(ivOpts, WithVerifierFastTier(false))
-	}
-	iv := NewIncVerifier(d.n, d.obj, ivOpts...)
+	iv := NewIncVerifier(d.n, d.obj, WithVerifierConfig(d.monitor))
 	reported := false
 	released := make([]int, d.n)
 

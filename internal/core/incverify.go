@@ -64,13 +64,11 @@ type IncVerifier struct {
 	// violation. They are retried, ahead of new arrivals, on the next ingest.
 	deferred []Tuple
 
-	retain       bool
-	retainPolicy check.RetentionPolicy
-	parallelism  int                   // monitor fan-out width; <=1 sequential
-	noFastTier   bool                  // disable the monitor's log-linear fast tier
-	respHead     int                   // response events the monitor GC'd (tuples already released)
-	baseAnn      []int                 // per-process announce floor: invocations behind the GC horizon
-	annHeads     []*conslist.Node[Ann] // heads of the largest view seen, for announce truncation
+	cfg      check.Config          // monitor configuration; Retain also gates the assembler's own GC sync
+	retain   bool                  // cfg.Retain, cleared on the generic-object path
+	respHead int                   // response events the monitor GC'd (tuples already released)
+	baseAnn  []int                 // per-process announce floor: invocations behind the GC horizon
+	annHeads []*conslist.Node[Ann] // heads of the largest view seen, for announce truncation
 
 	verdict check.Verdict
 	err     error
@@ -96,6 +94,19 @@ type IncVerifyStats struct {
 // IncVerifierOption configures an IncVerifier.
 type IncVerifierOption func(*IncVerifier)
 
+// WithVerifierConfig configures the inner monitor with a whole check.Config
+// at once — the option the monitoring service and anything else holding a
+// serialised configuration uses. Retention additionally makes the assembler
+// release tuples and announce-list prefixes behind the monitor's GC horizon;
+// it requires an object that is linearizability of a sequential model (the
+// generic membership path needs the full history by definition) and is
+// degraded to the unbounded assembler otherwise. The per-knob wrappers below
+// mutate the same Config, so mixing them with WithVerifierConfig follows
+// last-write-wins per knob (WithVerifierConfig replaces all of them).
+func WithVerifierConfig(c check.Config) IncVerifierOption {
+	return func(iv *IncVerifier) { iv.cfg = c }
+}
+
 // WithVerifierRetention opts the pipeline in to bounded-memory monitoring:
 // the inner monitor runs under check.WithRetention(p) and the assembler
 // releases tuples and announce-list prefixes behind the monitor's GC horizon.
@@ -103,9 +114,10 @@ type IncVerifierOption func(*IncVerifier)
 // generic membership path needs the full history by definition); the option
 // is ignored otherwise. The caller must guarantee that nothing else traverses
 // the announce cons-lists below the consumed floor — true for the decoupled
-// pipeline, whose scanners read only view counts.
+// pipeline, whose scanners read only view counts. Thin wrapper over
+// check.Config (WithVerifierConfig).
 func WithVerifierRetention(p check.RetentionPolicy) IncVerifierOption {
-	return func(iv *IncVerifier) { iv.retain = true; iv.retainPolicy = p }
+	return func(iv *IncVerifier) { iv.cfg.Retain = true; iv.cfg.Retention = p }
 }
 
 // WithVerifierParallelism runs the inner monitor's segment checks and
@@ -114,16 +126,17 @@ func WithVerifierRetention(p check.RetentionPolicy) IncVerifierOption {
 // state searches behind its single goroutine. Verdicts and stats are
 // unchanged (the parallel engine is sequential-equivalent by construction);
 // it requires an object that is linearizability of a sequential model and is
-// ignored otherwise.
+// ignored otherwise. Thin wrapper over check.Config (WithVerifierConfig).
 func WithVerifierParallelism(n int) IncVerifierOption {
-	return func(iv *IncVerifier) { iv.parallelism = n }
+	return func(iv *IncVerifier) { iv.cfg.Parallelism = n }
 }
 
 // WithVerifierFastTier enables or disables the inner monitor's log-linear
 // decision tier (check.WithFastTier; on by default). Verdicts are unchanged
 // either way — the knob exists so soaks can measure the tier's contribution.
+// Thin wrapper over check.Config (WithVerifierConfig).
 func WithVerifierFastTier(enabled bool) IncVerifierOption {
-	return func(iv *IncVerifier) { iv.noFastTier = !enabled }
+	return func(iv *IncVerifier) { iv.cfg.NoFastTier = !enabled }
 }
 
 // NewIncVerifier builds the pipeline for n processes monitoring obj.
@@ -142,21 +155,15 @@ func NewIncVerifier(n int, obj genlin.Object, opts ...IncVerifierOption) *IncVer
 	}
 	m := genlin.Model(obj)
 	if m == nil {
-		iv.retain = false
+		iv.cfg.Retain = false
+		iv.cfg.Retention = check.RetentionPolicy{}
 	}
+	iv.retain = iv.cfg.Retain
 	if m != nil {
-		var incOpts []check.IncOption
 		if iv.retain {
-			incOpts = append(incOpts, check.WithRetention(iv.retainPolicy))
 			iv.baseAnn = make([]int, n)
 		}
-		if iv.parallelism > 1 {
-			incOpts = append(incOpts, check.WithParallelism(iv.parallelism))
-		}
-		if iv.noFastTier {
-			incOpts = append(incOpts, check.WithFastTier(false))
-		}
-		iv.inc = check.NewIncremental(m, incOpts...)
+		iv.inc = check.NewIncremental(m, check.WithConfig(iv.cfg))
 	}
 	return iv
 }

@@ -8,9 +8,12 @@ import (
 	"repro/internal/spec"
 )
 
-// jsonEvent is the wire form of an Event, used by cmd/linverify and any
-// external tooling that wants to feed histories in.
-type jsonEvent struct {
+// WireEvent is the wire form of an Event — the one event-level codec shared
+// by the offline interchange format (internal/monitorapi, cmd/linverify, the
+// committed bench seeds under internal/check/testdata) and the monitoring
+// service's event frames. Field names are wire format: renaming one is a
+// format change and needs a version bump in monitorapi.
+type WireEvent struct {
 	Kind string `json:"kind"` // "inv" or "ret"
 	Proc int    `json:"proc"` // 1-based in the wire format, as in the paper
 	ID   uint64 `json:"id"`
@@ -19,11 +22,13 @@ type jsonEvent struct {
 	Res  string `json:"res,omitempty"` // "ok", "empty", "true", "false" or an integer
 }
 
-// EncodeJSON renders h as a JSON array of events.
-func EncodeJSON(h History) ([]byte, error) {
-	out := make([]jsonEvent, len(h))
+// ToWire converts h to its wire form. Both events of an operation carry the
+// full operation (method and argument), so a wire stream stays decodable
+// when it is split into batches at arbitrary event boundaries.
+func ToWire(h History) ([]WireEvent, error) {
+	out := make([]WireEvent, len(h))
 	for i, e := range h {
-		je := jsonEvent{Proc: e.Proc + 1, ID: e.ID, Op: e.Op.Method, Arg: e.Op.Arg}
+		je := WireEvent{Proc: e.Proc + 1, ID: e.ID, Op: e.Op.Method, Arg: e.Op.Arg}
 		switch e.Kind {
 		case Invoke:
 			je.Kind = "inv"
@@ -35,16 +40,17 @@ func EncodeJSON(h History) ([]byte, error) {
 		}
 		out[i] = je
 	}
-	return json.MarshalIndent(out, "", "  ")
+	return out, nil
 }
 
-// DecodeJSON parses a JSON array of events into a History. Responses are
-// "ok", "empty", "true", "false" or a decimal value.
-func DecodeJSON(data []byte) (History, error) {
-	var in []jsonEvent
-	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, fmt.Errorf("parsing history: %w", err)
-	}
+// FromWire converts wire events back to a History. It does NOT validate §2
+// well-formedness — a batch of a longer stream is not well-formed on its own;
+// callers decoding a complete history (DecodeJSON, the interchange codec)
+// run Validate afterwards, while the monitoring pipeline's admitters check
+// the reassembled stream incrementally. A "ret" event inherits the operation
+// of the matching "inv" of the same slice when one is present — tolerance
+// for hand-written files whose responses omit the argument.
+func FromWire(in []WireEvent) (History, error) {
 	h := make(History, 0, len(in))
 	ops := make(map[uint64]spec.Operation)
 	for i, je := range in {
@@ -65,6 +71,30 @@ func DecodeJSON(data []byte) (History, error) {
 		default:
 			return nil, fmt.Errorf("event %d: kind must be \"inv\" or \"ret\", got %q", i, je.Kind)
 		}
+	}
+	return h, nil
+}
+
+// EncodeJSON renders h as a JSON array of events (the legacy, unversioned
+// interchange form; monitorapi.EncodeHistory writes the versioned envelope).
+func EncodeJSON(h History) ([]byte, error) {
+	out, err := ToWire(h)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// DecodeJSON parses a JSON array of events into a validated History.
+// Responses are "ok", "empty", "true", "false" or a decimal value.
+func DecodeJSON(data []byte) (History, error) {
+	var in []WireEvent
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("parsing history: %w", err)
+	}
+	h, err := FromWire(in)
+	if err != nil {
+		return nil, err
 	}
 	if err := h.Validate(); err != nil {
 		return nil, err

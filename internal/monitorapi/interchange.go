@@ -1,0 +1,92 @@
+// Package monitorapi defines the versioned formats that cross process
+// boundaries: the offline history interchange format (this file) and the
+// linmond monitoring service's wire protocol (wire.go). Everything here is
+// format, no behaviour — the server (internal/monitorserver), the client
+// library (internal/monitorclient) and the offline tools (cmd/linverify,
+// committed bench seeds) share these types so there is exactly one codec.
+//
+// Versioning rules (both formats):
+//
+//   - every envelope carries an explicit integer "version";
+//   - decoders accept any version <= the current one and reject newer ones
+//     (an old reader must not silently misread a newer file);
+//   - unknown fields are ignored on decode, so additive changes (new
+//     optional fields) do NOT bump the version — only renames, removals and
+//     semantic changes do;
+//   - the legacy unversioned form — a bare JSON event array, the format
+//     cmd/linverify read before the envelope existed — decodes as version 1.
+package monitorapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/history"
+)
+
+// HistoryFormatVersion is the current version of the offline history
+// interchange format.
+const HistoryFormatVersion = 1
+
+// HistoryEnvelope is the versioned on-disk form of a recorded history:
+//
+//	{
+//	  "version": 1,
+//	  "model": "queue",
+//	  "events": [ {"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5}, ... ]
+//	}
+//
+// Model is advisory — the sequential object the recorder believed the
+// history belongs to; tools use it as a default and let flags override it.
+// Events is the shared event-level codec history.WireEvent.
+type HistoryEnvelope struct {
+	Version int                 `json:"version"`
+	Model   string              `json:"model,omitempty"`
+	Events  []history.WireEvent `json:"events"`
+}
+
+// EncodeHistory renders h as a versioned interchange document. model may be
+// empty.
+func EncodeHistory(h history.History, model string) ([]byte, error) {
+	evs, err := history.ToWire(h)
+	if err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(HistoryEnvelope{
+		Version: HistoryFormatVersion,
+		Model:   model,
+		Events:  evs,
+	}, "", "  ")
+}
+
+// DecodeHistory parses an interchange document — the versioned envelope or
+// the legacy bare event array — into a validated History plus the envelope's
+// advisory model name ("" for the legacy form). This is the single decode
+// entry point for recorded histories: cmd/linverify and the committed bench
+// seeds both read through it.
+func DecodeHistory(data []byte) (history.History, string, error) {
+	if bytes.HasPrefix(bytes.TrimLeft(data, " \t\r\n"), []byte("[")) {
+		h, err := history.DecodeJSON(data)
+		return h, "", err
+	}
+	var env HistoryEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, "", fmt.Errorf("parsing history envelope: %w", err)
+	}
+	if env.Version < 1 {
+		return nil, "", fmt.Errorf("history envelope lacks a version (got %d)", env.Version)
+	}
+	if env.Version > HistoryFormatVersion {
+		return nil, "", fmt.Errorf("history format version %d is newer than the supported %d",
+			env.Version, HistoryFormatVersion)
+	}
+	h, err := history.FromWire(env.Events)
+	if err != nil {
+		return nil, "", err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, "", err
+	}
+	return h, env.Model, nil
+}

@@ -1,0 +1,31 @@
+package monitorclient
+
+import (
+	"encoding/json"
+	"net"
+
+	"repro/internal/monitorapi"
+)
+
+// wireConn wraps one NDJSON connection: frames out, frames in. Owned by the
+// session's calling goroutine — the protocol is synchronous by design, so no
+// background reader exists to race with.
+type wireConn struct {
+	nc  net.Conn
+	enc *json.Encoder
+	dec *json.Decoder
+}
+
+func newWireConn(nc net.Conn) *wireConn {
+	return &wireConn{nc: nc, enc: json.NewEncoder(nc), dec: json.NewDecoder(nc)}
+}
+
+func (c *wireConn) send(f monitorapi.ClientFrame) error { return c.enc.Encode(f) }
+
+func (c *wireConn) recv() (monitorapi.ServerFrame, error) {
+	var f monitorapi.ServerFrame
+	err := c.dec.Decode(&f)
+	return f, err
+}
+
+func (c *wireConn) close() { c.nc.Close() }

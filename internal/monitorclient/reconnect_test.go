@@ -1,0 +1,124 @@
+package monitorclient
+
+import (
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/monitorserver"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// genSequential returns a linearizable history of nops operations, every
+// operation returning immediately (no overlap — this test is about transport
+// failure, not monitor ambiguity).
+func genSequential(m spec.Model, seed int64, nops int) history.History {
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen(m.Name(), seed, &uniq)
+	oracle := spec.NewOracle(m)
+	var h history.History
+	for i := 0; i < nops; i++ {
+		op := gen.Next()
+		res, ok := oracle.Apply(op)
+		if !ok {
+			panic("oracle rejected a generated operation")
+		}
+		h = append(h,
+			history.Event{Kind: history.Invoke, Proc: 0, ID: op.Uniq, Op: op},
+			history.Event{Kind: history.Return, Proc: 0, ID: op.Uniq, Op: op, Res: res})
+	}
+	return h
+}
+
+// TestReconnectResume kills the session's connection out from under it,
+// repeatedly, mid-stream. With reconnect enabled the session must redial,
+// resume from the server's applied sequence, resend what the wire lost, and
+// still produce the same verdict and event count as an unbroken run.
+func TestReconnectResume(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := monitorserver.Serve(ln, monitorserver.Options{Logf: t.Logf})
+	defer srv.Close()
+
+	m, _ := spec.ByName("queue")
+	h := genSequential(m, 5, 600)
+
+	ref := check.NewIncremental(m)
+	want := check.Yes
+
+	sess, err := Dial(srv.Addr().String(), "t", "obj", "queue",
+		WithReconnect(5, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < len(h); i += 40 {
+		b := h[i:min(i+40, len(h))]
+		want = ref.Append(b)
+		if rng.Intn(3) == 0 {
+			// Kill the transport behind the session's back; the next
+			// Send/Drain must recover through the resend path.
+			sess.conn.nc.Close()
+		}
+		if err := sess.Send(b); err != nil {
+			t.Fatalf("send at %d: %v", i, err)
+		}
+	}
+	got, err := sess.Close()
+	if err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if got != want {
+		t.Fatalf("verdict after reconnects %v, want %v", got, want)
+	}
+	if st := sess.Stats(); st == nil || st.Check.Events != len(h) {
+		t.Fatalf("server saw %v events, want %d (lost or duplicated batches)",
+			statsEvents(sess), len(h))
+	}
+}
+
+func statsEvents(s *Session) any {
+	if s.stats == nil {
+		return "no stats"
+	}
+	return s.stats.Check.Events
+}
+
+// TestNoReconnect: with reconnect disabled a dead transport is a hard error.
+func TestNoReconnect(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := monitorserver.Serve(ln, monitorserver.Options{Logf: t.Logf})
+	defer srv.Close()
+
+	m, _ := spec.ByName("queue")
+	h := genSequential(m, 6, 40)
+	sess, err := Dial(srv.Addr().String(), "t", "obj", "queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess.conn.nc.Close()
+	var sendErr error
+	for i := 0; i < len(h); i += 10 {
+		if sendErr = sess.Send(h[i : i+10]); sendErr != nil {
+			break
+		}
+	}
+	if sendErr == nil {
+		_, sendErr = sess.Drain()
+	}
+	if sendErr == nil {
+		t.Fatalf("session survived a dead transport without reconnect")
+	}
+	// The error is latched: further use fails fast.
+	if err := sess.Send(h[:10]); err == nil {
+		t.Fatalf("latched session accepted a send")
+	}
+}

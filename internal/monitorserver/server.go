@@ -1,0 +1,512 @@
+// Package monitorserver is the linmond monitoring service: it accepts NDJSON
+// sessions (internal/monitorapi), multiplexes per-tenant/per-object monitor
+// instances through one shared worker pool (check.Shards), and streams
+// verdicts, gauges and stats back to clients.
+//
+// Concurrency model. One dispatcher goroutine owns the Shards value — every
+// monitor access, including Shards.Add, happens on it, which is exactly the
+// single-driving-goroutine contract Shards documents. Per-connection reader
+// goroutines decode frames, convert events (history.FromWire) and queue work
+// on a bounded global ingest channel; per-connection writer goroutines drain
+// bounded per-session output queues. The dispatcher groups queued batches by
+// shard and applies them with one Shards.Append per absorb round — the
+// service-level analogue of Decoupled's chunked absorb: cross-object work
+// fans out across the pool while each object's stream stays sequential.
+//
+// Backpressure. Three bounds keep server memory finite under slow or hostile
+// clients:
+//
+//   - a per-session credit window: at most Window unacked batches in flight;
+//     overrun is a protocol violation answered with an overload frame and a
+//     close (well-behaved clients block in monitorclient instead);
+//   - the global ingest channel: when full, readers block, and TCP flow
+//     control propagates the stall to senders — a bounded number of batches
+//     is buffered server-wide no matter how many clients connect;
+//   - bounded per-session write queues: gauges are dropped when the queue is
+//     full (they are periodic reports), but a client too slow to read its
+//     acks is closed as a slow reader rather than buffered without bound.
+//
+// Monitor memory is bounded separately by the per-object check.Config
+// retention policy, reported through gauge frames.
+package monitorserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/monitorapi"
+	"repro/internal/spec"
+)
+
+// Options configures a Server. The zero value is usable; unset fields take
+// the defaults documented on each.
+type Options struct {
+	// Workers bounds the cross-shard fan-out of the shared pool (default 1:
+	// shards run inline on the dispatcher).
+	Workers int
+	// QueueDepth bounds the global ingest channel (default 256 batches).
+	QueueDepth int
+	// Window is the default per-session credit window — the max unacked
+	// batches a client may have in flight (default 8). An Open may request
+	// less, never more.
+	Window int
+	// GaugeEvery streams a gauge frame after every n-th ack on a session
+	// (default 16; <0 disables gauges).
+	GaugeEvery int
+	// Logf receives server diagnostics (default log.Printf; set to a no-op
+	// to silence).
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.Window <= 0 {
+		o.Window = 8
+	}
+	if o.GaugeEvery == 0 {
+		o.GaugeEvery = 16
+	}
+	if o.Logf == nil {
+		o.Logf = log.Printf
+	}
+	return o
+}
+
+// object is one monitored tenant/object stream: a shard index into the
+// dispatcher's Shards plus resume bookkeeping. Dispatcher-owned.
+type object struct {
+	shard   int
+	model   string
+	cfg     check.Config
+	applied uint64   // highest batch seq applied (flushed)
+	staged  uint64   // batches accepted into the current absorb round
+	sess    *session // active session, nil when detached
+}
+
+// ingestMsg is one unit of dispatcher work, queued by reader goroutines.
+type ingestMsg struct {
+	sess *session
+	op   int // opOpen, opBatch, opBye, opGone
+	open *monitorapi.Open
+	seq  uint64
+	h    history.History
+}
+
+const (
+	opOpen = iota
+	opBatch
+	opBye
+	opGone
+)
+
+// session is one live connection. The reader goroutine owns conn reads; the
+// writer goroutine owns conn writes; the dispatcher owns obj and acks.
+// unacked is the server-side view of the credit window, moved by the reader
+// (inc) and the writer (dec on ack).
+type session struct {
+	conn    net.Conn
+	out     chan monitorapi.ServerFrame
+	obj     *object // set by dispatcher on open
+	window  int
+	unacked atomic.Int32
+	acks    int // acks sent; dispatcher-owned, for gauge cadence
+	closed  atomic.Bool
+}
+
+// enqueue queues a frame for the writer. Gauges are droppable; anything else
+// failing to queue marks the session a slow reader and closes it.
+func (s *session) enqueue(f monitorapi.ServerFrame, srv *Server) {
+	select {
+	case s.out <- f:
+	default:
+		if f.Type == monitorapi.FrameGauge {
+			return // periodic report; dropping one is fine
+		}
+		srv.opts.Logf("linmond: %s: slow reader, closing", s.conn.RemoteAddr())
+		s.close()
+	}
+}
+
+func (s *session) close() {
+	if s.closed.CompareAndSwap(false, true) {
+		s.conn.Close()
+	}
+}
+
+// shutdownRead unblocks the session's reader without killing writes in
+// flight — an aborting session still owes the client its error frame, which
+// the writer flushes before the final close.
+func (s *session) shutdownRead() {
+	if tc, ok := s.conn.(*net.TCPConn); ok && !s.closed.Load() {
+		tc.CloseRead()
+		return
+	}
+	s.close()
+}
+
+// Server is a running linmond instance.
+type Server struct {
+	opts    Options
+	ln      net.Listener
+	ingest  chan ingestMsg
+	done    chan struct{}
+	stopped atomic.Bool
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	wg    sync.WaitGroup
+}
+
+// Serve starts a server on ln and returns immediately; the server runs until
+// Close. The listener is owned by the server from here on.
+func Serve(ln net.Listener, opts Options) *Server {
+	opts = opts.withDefaults()
+	srv := &Server{
+		opts:   opts,
+		ln:     ln,
+		ingest: make(chan ingestMsg, opts.QueueDepth),
+		done:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go srv.dispatch()
+	srv.wg.Add(1)
+	go srv.acceptLoop()
+	return srv
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting, closes every live connection and waits for the
+// dispatcher to drain. Safe to call more than once.
+func (s *Server) Close() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		<-s.done
+		return
+	}
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	close(s.ingest)
+	<-s.done
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// serveConn is the reader goroutine: decode frames, convert events, queue
+// dispatcher work. It spawns the writer and funnels a final opGone so the
+// dispatcher detaches the session however the connection ends.
+func (s *Server) serveConn(conn net.Conn) {
+	sess := &session{
+		conn:   conn,
+		out:    make(chan monitorapi.ServerFrame, 64),
+		window: s.opts.Window,
+	}
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() {
+		defer writer.Done()
+		enc := json.NewEncoder(conn)
+		for f := range sess.out {
+			if err := enc.Encode(f); err != nil {
+				sess.close() // keep draining so enqueue never blocks forever
+			}
+			if f.Type == monitorapi.FrameAck {
+				sess.unacked.Add(-1)
+			}
+		}
+	}()
+
+	dec := json.NewDecoder(conn)
+	opened := false
+loop:
+	for {
+		var cf monitorapi.ClientFrame
+		if err := dec.Decode(&cf); err != nil {
+			break
+		}
+		switch cf.Type {
+		case monitorapi.FrameOpen:
+			if opened || cf.Open == nil {
+				s.abort(sess, monitorapi.FrameError, "unexpected open frame")
+				break loop
+			}
+			opened = true
+			s.ingest <- ingestMsg{sess: sess, op: opOpen, open: cf.Open}
+		case monitorapi.FrameEvents:
+			if !opened || cf.Batch == nil {
+				s.abort(sess, monitorapi.FrameError, "events before open")
+				break loop
+			}
+			if int(sess.unacked.Add(1)) > sess.window {
+				s.abort(sess, monitorapi.FrameOverload,
+					fmt.Sprintf("credit window of %d batches overrun", sess.window))
+				break loop
+			}
+			h, err := history.FromWire(cf.Batch.Events)
+			if err != nil {
+				s.abort(sess, monitorapi.FrameError,
+					fmt.Sprintf("bad batch %d: %v", cf.Batch.Seq, err))
+				break loop
+			}
+			// May block on the global ingest bound; TCP flow control
+			// propagates the stall to the sender.
+			s.ingest <- ingestMsg{sess: sess, op: opBatch, seq: cf.Batch.Seq, h: h}
+		case monitorapi.FrameBye:
+			if opened {
+				s.ingest <- ingestMsg{sess: sess, op: opBye}
+			}
+			break loop
+		default:
+			s.abort(sess, monitorapi.FrameError, fmt.Sprintf("unknown frame type %q", cf.Type))
+			break loop
+		}
+	}
+	// The dispatcher may still hold queued work that enqueues frames for
+	// this session, so for an opened session it is the dispatcher — on
+	// processing opGone, its last message — that closes out. The connection
+	// itself closes only after the writer has drained, so terminal frames
+	// reach the client.
+	if opened {
+		s.ingest <- ingestMsg{sess: sess, op: opGone}
+	} else {
+		close(sess.out)
+	}
+	writer.Wait()
+	sess.close()
+}
+
+// abort sends a terminal frame and closes the connection for reads; the
+// writer drains the queued frame before serveConn's final close.
+func (s *Server) abort(sess *session, frameType, msg string) {
+	sess.enqueue(monitorapi.ServerFrame{Type: frameType, Err: msg}, s)
+	sess.shutdownRead()
+}
+
+// absorbChunk bounds one absorb round, mirroring Decoupled's chunked absorb:
+// the dispatcher re-checks the world every chunk instead of starving acks
+// behind an unbounded drain.
+const absorbChunk = 32
+
+type pendingAck struct {
+	sess *session
+	seq  uint64
+}
+
+// dispatch is the dispatcher goroutine: sole owner of the Shards value and
+// of every object's applied/session state. Each round drains the queued
+// ingest (bounded by absorbChunk) into per-shard deltas and applies them
+// with one Shards.Append, so independent objects overlap on the pool.
+func (s *Server) dispatch() {
+	defer close(s.done)
+	shards := check.NewShards(nil, s.opts.Workers)
+	objects := make(map[string]*object)
+
+	var deltas []history.History
+	var acks []pendingAck
+
+	msg, ok := <-s.ingest
+	for ok {
+		// One absorb round.
+		deltas = deltas[:0]
+		acks = acks[:0]
+		batched := 0
+		for {
+			switch msg.op {
+			case opOpen:
+				s.handleOpen(shards, objects, msg)
+			case opBatch:
+				s.stageBatch(shards, msg, &deltas, &acks)
+				batched++
+			case opBye:
+				if obj := msg.sess.obj; obj != nil && obj.sess == msg.sess {
+					sh := shards.Shard(obj.shard)
+					msg.sess.enqueue(monitorapi.ServerFrame{
+						Type: monitorapi.FrameStats, Verdict: sh.Verdict().String(),
+						Stats: &monitorapi.Stats{Check: sh.Stats()},
+					}, s)
+				}
+			case opGone:
+				if obj := msg.sess.obj; obj != nil && obj.sess == msg.sess {
+					obj.sess = nil // object stays; a reconnect resumes it
+				}
+				close(msg.sess.out) // last message of the session: writer drains and exits
+			}
+			if batched >= absorbChunk {
+				break
+			}
+			// Keep absorbing while more work is already queued.
+			var more bool
+			select {
+			case msg, more = <-s.ingest:
+				if !more {
+					s.flush(shards, deltas, acks)
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		s.flush(shards, deltas, acks)
+		msg, ok = <-s.ingest
+	}
+}
+
+// stageBatch validates one batch's sequencing and stages its events into the
+// round's per-shard delta. Replays (seq already applied) are acked without
+// re-applying — that is what makes client resend-after-reconnect exactly-once.
+func (s *Server) stageBatch(shards *check.Shards, msg ingestMsg, deltas *[]history.History, acks *[]pendingAck) {
+	obj := msg.sess.obj
+	if obj == nil || obj.sess != msg.sess {
+		return // session aborted or superseded; drop
+	}
+	expect := obj.applied + obj.staged + 1
+	if msg.seq != expect {
+		if msg.seq <= obj.applied {
+			// Replay of an applied batch (a resend that raced its ack):
+			// ack without re-applying.
+			msg.sess.enqueue(monitorapi.ServerFrame{
+				Type: monitorapi.FrameAck, Seq: msg.seq,
+				Verdict: shards.Shard(obj.shard).Verdict().String(),
+			}, s)
+			return
+		}
+		if msg.seq <= obj.applied+obj.staged {
+			return // duplicate of a staged batch; its ack comes at flush
+		}
+		s.abort(msg.sess, monitorapi.FrameError,
+			fmt.Sprintf("batch gap: got seq %d, want %d", msg.seq, expect))
+		return
+	}
+	for len(*deltas) < shards.Len() {
+		*deltas = append(*deltas, nil)
+	}
+	(*deltas)[obj.shard] = append((*deltas)[obj.shard], msg.h...)
+	obj.staged++
+	*acks = append(*acks, pendingAck{msg.sess, msg.seq})
+}
+
+func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, msg ingestMsg) {
+	o := msg.open
+	if o.Version > monitorapi.ProtocolVersion || o.Version < 1 {
+		s.abort(msg.sess, monitorapi.FrameError,
+			fmt.Sprintf("protocol version %d unsupported (server speaks %d)",
+				o.Version, monitorapi.ProtocolVersion))
+		return
+	}
+	if o.Tenant == "" || o.Object == "" {
+		s.abort(msg.sess, monitorapi.FrameError, "open needs tenant and object")
+		return
+	}
+	if err := o.Config.Validate(); err != nil {
+		s.abort(msg.sess, monitorapi.FrameError, fmt.Sprintf("config: %v", err))
+		return
+	}
+	model, known := spec.ByName(o.Model)
+	if !known {
+		s.abort(msg.sess, monitorapi.FrameError, fmt.Sprintf("unknown model %q", o.Model))
+		return
+	}
+	key := o.Tenant + "\x00" + o.Object
+	obj := objects[key]
+	switch {
+	case obj == nil:
+		obj = &object{
+			shard: shards.Add(model, check.WithConfig(o.Config)),
+			model: o.Model,
+			cfg:   o.Config,
+		}
+		objects[key] = obj
+	case obj.sess != nil:
+		s.abort(msg.sess, monitorapi.FrameError,
+			fmt.Sprintf("object %s/%s already has an active session", o.Tenant, o.Object))
+		return
+	case obj.model != o.Model || obj.cfg != o.Config:
+		s.abort(msg.sess, monitorapi.FrameError,
+			fmt.Sprintf("object %s/%s reopened with a different model or config", o.Tenant, o.Object))
+		return
+	}
+	if o.Window > 0 && o.Window < msg.sess.window {
+		msg.sess.window = o.Window
+	}
+	obj.sess = msg.sess
+	msg.sess.obj = obj
+	msg.sess.enqueue(monitorapi.ServerFrame{
+		Type: monitorapi.FrameHello, Version: monitorapi.ProtocolVersion,
+		Acked: obj.applied, Window: msg.sess.window,
+	}, s)
+}
+
+// flush applies one absorb round's deltas and streams the acks.
+func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pendingAck) {
+	if len(acks) == 0 {
+		return
+	}
+	verdicts := shards.Append(deltas)
+	for _, a := range acks {
+		obj := a.sess.obj
+		if obj == nil {
+			continue
+		}
+		// The monitor consumed the batch either way, so applied advances
+		// even when the session vanished mid-round (its opGone was absorbed
+		// in this round and its out channel is closed) — a reconnect must
+		// not re-apply the batch.
+		obj.applied = a.seq
+		obj.staged = 0
+		if obj.sess != a.sess {
+			continue
+		}
+		a.sess.acks++
+		a.sess.enqueue(monitorapi.ServerFrame{
+			Type: monitorapi.FrameAck, Seq: a.seq,
+			Verdict: verdicts[obj.shard].String(),
+		}, s)
+		if s.opts.GaugeEvery > 0 && a.sess.acks%s.opts.GaugeEvery == 0 {
+			st := shards.Shard(obj.shard).Stats()
+			a.sess.enqueue(monitorapi.ServerFrame{
+				Type: monitorapi.FrameGauge, Seq: a.seq,
+				Gauge: &monitorapi.Gauge{
+					RetainedEvents: st.RetainedEvents,
+					RetainedBytes:  st.RetainedBytes,
+					FrontierStates: st.FrontierStates,
+				},
+			}, s)
+		}
+	}
+}
