@@ -1,0 +1,37 @@
+package monitorserver_test
+
+import (
+	"net"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/monitorclient"
+	"repro/internal/monitorserver"
+	"repro/internal/spec"
+)
+
+func TestWindowRaceRepro(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := monitorserver.Serve(ln, monitorserver.Options{Logf: func(string, ...any) {}})
+	defer srv.Close()
+	s, err := monitorclient.Dial(ln.Addr().String(), "t", "o", "queue", monitorclient.WithWindow(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		op := spec.Operation{Method: "Enq", Arg: int64(i), Uniq: uint64(i + 1)}
+		h := history.History{
+			{Kind: history.Invoke, Proc: 0, ID: op.Uniq, Op: op},
+			{Kind: history.Return, Proc: 0, ID: op.Uniq, Op: op, Res: spec.OKResp()},
+		}
+		if err := s.Send(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
