@@ -661,6 +661,40 @@ func TestSoakFastTierB13(t *testing.T) {
 	}
 }
 
+// ---------------------------------------------------------------------------
+// B14: durable checkpoints — the serialised envelope stays O(retained
+// window) on an endless never-quiescent stream, and a monitor restored from
+// a mid-soak checkpoint tracks the uninterrupted primary verdict-for-verdict
+// to the end of the stream
+// ---------------------------------------------------------------------------
+
+// TestSoakCheckpointRestoreB14 is the B14 acceptance check. The CI perf
+// gate runs the same body (internal/soak RunCheckpointSoak) at reduced
+// scale via cmd/perfgate.
+func TestSoakCheckpointRestoreB14(t *testing.T) {
+	ops := 100_000
+	if testing.Short() {
+		ops = 20_000
+	}
+	r := soak.RunCheckpointSoak(spec.Queue(), ops, 1, soakPolicy, true)
+	if r.Err != "" {
+		t.Fatalf("checkpoint/restore failed mid-soak: %s", r.Err)
+	}
+	if r.DivergedAt >= 0 {
+		t.Fatalf("restored clone diverged from the uninterrupted primary at burst %d", r.DivergedAt)
+	}
+	if !r.Yes {
+		t.Fatal("correct stream refuted")
+	}
+	if r.Checkpoints == 0 || r.RestoredAt < 0 {
+		t.Fatalf("soak exported no checkpoint or never restored: %+v", r)
+	}
+	if r.MaxBytes > r.Bound {
+		t.Fatalf("largest checkpoint %d bytes exceeds the %d O(window) bound (stream %d events)",
+			r.MaxBytes, r.Bound, r.Events)
+	}
+}
+
 // BenchmarkFirstViolation measures the witness-localisation cost.
 func BenchmarkFirstViolation(b *testing.B) {
 	h := trace.RandomLinearizable(spec.Queue(), 3, 3, 64)

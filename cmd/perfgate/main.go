@@ -50,18 +50,27 @@
 //     wall-clock, so host-independent) falls below -b13minratio (default
 //     50x; the recorded figure is ~88x).
 //
+//   - B14 durable-checkpoint gate: the checkpoint soak (internal/soak
+//     RunCheckpointSoak, the body behind TestSoakCheckpointRestoreB14) at
+//     reduced scale. The bounded monitor's checkpoint is serialised every
+//     few bursts of the never-quiescent stream and restored mid-soak into a
+//     clone that ingests the rest alongside the primary. CI fails if the
+//     largest envelope exceeds the O(retained window) byte bound — a
+//     checkpoint scaling with history length — or if the restored clone's
+//     verdicts diverge from the uninterrupted primary's.
+//
 // Every gate verdict is also emitted as a uniform {gate, status, value,
 // bound} entry in the JSON (status pass|fail|skip), so the benchmark-
 // trajectory tooling can diff runs across PRs without parsing ad-hoc keys,
 // and each gate has a distinct process exit code (B8=2, B9=3, B10=4, B11=5,
-// B12=6, B13=7; setup failures exit 1) so CI logs identify the tripped gate
-// from the exit status alone. With several failures the first tripped
-// gate's code wins.
+// B12=6, B13=7, B14=8; setup failures exit 1) so CI logs identify the
+// tripped gate from the exit status alone. With several failures the first
+// tripped gate's code wins.
 //
 // Usage:
 //
 //	perfgate                    # all gates, JSON to BENCH_perf_smoke.json
-//	perfgate -ops 1024 -soakops 20000 -b12ops 20000 -out path.json
+//	perfgate -ops 1024 -soakops 20000 -b12ops 20000 -b14ops 20000 -out path.json
 //	perfgate -baseline -out BENCH_PR3.json   # refresh the committed trajectory
 //	                                         # record (reference host only)
 package main
@@ -93,6 +102,7 @@ const (
 	exitB11   = 5
 	exitB12   = 6
 	exitB13   = 7
+	exitB14   = 8
 )
 
 // gateEntry is the uniform per-gate record in the BENCH JSON: one entry per
@@ -142,6 +152,11 @@ type result struct {
 	B13Steps       int           `json:"b13_tier_steps"`
 	B13Ratio       float64       `json:"b13_explored_steps_ratio"`
 	B13MinRatio    float64       `json:"b13_min_ratio"`
+	B14Ops         int           `json:"b14_ops"`
+	B14Checkpoints int           `json:"b14_checkpoints"`
+	B14MaxBytes    int           `json:"b14_max_checkpoint_bytes"`
+	B14Bound       int           `json:"b14_checkpoint_bytes_bound"`
+	B14Ns          int64         `json:"b14_ns"`
 	Gates          []gateEntry   `json:"gates"`
 	Pass           bool          `json:"pass"`
 }
@@ -169,6 +184,7 @@ func run() int {
 	maxAllocs := flag.Int64("maxallocs", 400, "maximum allocs/op for the B10 checker gate")
 	minScale := flag.Float64("minscale", 1.5, "minimum 4-worker-vs-1 speedup for the B11 parallel gate (auto-skip below 4 CPUs)")
 	b13MinRatio := flag.Float64("b13minratio", 50, "minimum explored-steps ratio (Wing–Gong explored / tier peel steps) for the B13 fast-tier gate")
+	b14Ops := flag.Int("b14ops", 20000, "operations for the B14 durable-checkpoint gate")
 	baseline := flag.Bool("baseline", false, "emit B10 speedup vs the recorded pre-PR baseline (reference host only)")
 	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
 	flag.Parse()
@@ -418,6 +434,42 @@ func run() int {
 		gate("b13", "fail", res.B13Ratio, *b13MinRatio, exitB13)
 	default:
 		gate("b13", "pass", res.B13Ratio, *b13MinRatio, exitB13)
+	}
+
+	// --- B14 durable-checkpoint gate -----------------------------------------
+	// The checkpoint soak (internal/soak, the body behind
+	// TestSoakCheckpointRestoreB14) at reduced scale: serialised envelopes
+	// must stay bounded by the retained window, and a clone restored from a
+	// mid-soak checkpoint must stay verdict-identical to the uninterrupted
+	// primary for the rest of the stream.
+	start = time.Now()
+	b14 := soak.RunCheckpointSoak(spec.Queue(), *b14Ops, 1, check.RetentionPolicy{GCBatch: 64}, true)
+	res.B14Ns = time.Since(start).Nanoseconds()
+	res.B14Ops = *b14Ops
+	res.B14Checkpoints = b14.Checkpoints
+	res.B14MaxBytes = b14.MaxBytes
+	res.B14Bound = b14.Bound
+	fmt.Printf("B14 gate: checkpoint soak ops=%d checkpoints=%d max-bytes=%d (bound %d) restored-at-burst=%d in %v\n",
+		*b14Ops, b14.Checkpoints, b14.MaxBytes, b14.Bound, b14.RestoredAt, time.Duration(res.B14Ns))
+	switch {
+	case b14.Err != "":
+		fmt.Fprintf(os.Stderr, "FAIL: B14 checkpoint/restore failed mid-soak: %s\n", b14.Err)
+		gate("b14", "fail", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
+	case b14.DivergedAt >= 0:
+		fmt.Fprintf(os.Stderr, "FAIL: B14 restored clone diverged from the uninterrupted primary at burst %d\n", b14.DivergedAt)
+		gate("b14", "fail", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
+	case !b14.Yes:
+		fmt.Fprintln(os.Stderr, "FAIL: B14 correct stream refuted")
+		gate("b14", "fail", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
+	case b14.Checkpoints == 0 || b14.RestoredAt < 0:
+		fmt.Fprintln(os.Stderr, "FAIL: B14 soak exported no checkpoint or never restored — the gate measured nothing")
+		gate("b14", "fail", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
+	case b14.MaxBytes > b14.Bound:
+		fmt.Fprintf(os.Stderr, "FAIL: B14 largest checkpoint %d bytes exceeds the %d bound — checkpoints are O(history) again\n",
+			b14.MaxBytes, b14.Bound)
+		gate("b14", "fail", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
+	default:
+		gate("b14", "pass", float64(b14.MaxBytes), float64(b14.Bound), exitB14)
 	}
 
 	res.Pass = ok

@@ -22,6 +22,15 @@
 //	linmond -listen 127.0.0.1:7474 &
 //	stress -net -addr 127.0.0.1:7474 -model queue -procs 4 -ops 2000
 //	stress -net -addr 127.0.0.1:7474 -model stack -retain -fault mutate
+//
+// With -crash-every N the soak runs against its own in-process durable
+// linmond (state dir on a fault-injectable filesystem) and force-restarts it
+// every N batches — every other restart with the final checkpoint failing —
+// diffing the crash-restart verdicts and applied-event counts against an
+// uninterrupted monitor:
+//
+//	stress -crash-every 5 -model queue -procs 4 -ops 500
+//	stress -crash-every 5 -model queue -retain -fault mutate
 package main
 
 import (
@@ -66,7 +75,8 @@ func run() int {
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at soak end to this file")
 	netMode := flag.Bool("net", false, "stream the soak to a linmond server instead of an in-process pipeline")
 	addr := flag.String("addr", "127.0.0.1:7474", "net: linmond server address")
-	netbatch := flag.Int("netbatch", 128, "net: events per wire batch")
+	netbatch := flag.Int("netbatch", 128, "net and crash modes: events per wire batch")
+	crashEvery := flag.Int("crash-every", 0, "kill and restart an in-process durable linmond every N batches, diffing verdicts against an uninterrupted monitor (0 = off)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -103,9 +113,21 @@ func run() int {
 		return 2
 	}
 
-	if *netMode {
+	if *netMode || *crashEvery != 0 {
+		mode := "net"
+		if *crashEvery != 0 {
+			mode = "crash"
+		}
+		if *netMode && *crashEvery != 0 {
+			fmt.Fprintln(os.Stderr, "-crash-every runs its own in-process server; it is incompatible with -net")
+			return 2
+		}
+		if *crashEvery < 0 {
+			fmt.Fprintf(os.Stderr, "-crash-every %d: need a positive batch interval\n", *crashEvery)
+			return 2
+		}
 		if *fullrecheck || *decoupled {
-			fmt.Fprintln(os.Stderr, "-net replaces the in-process pipeline; it is incompatible with -decoupled and -fullrecheck")
+			fmt.Fprintf(os.Stderr, "-%s replaces the in-process pipeline; it is incompatible with -decoupled and -fullrecheck\n", mode)
 			return 2
 		}
 		if *netbatch < 1 {
@@ -113,9 +135,9 @@ func run() int {
 			return 2
 		}
 		if *fault != "" && *fault != "mutate" {
-			// Net mode streams a recorded history, so there is no faulty
+			// These modes stream a recorded history, so there is no faulty
 			// implementation to wrap; the only fault is a perturbed record.
-			fmt.Fprintf(os.Stderr, "net mode supports -fault mutate (trace perturbation), not %q\n", *fault)
+			fmt.Fprintf(os.Stderr, "%s mode supports -fault mutate (trace perturbation), not %q\n", mode, *fault)
 			return 2
 		}
 		cfg := check.Config{NoFastTier: !*fasttier}
@@ -129,6 +151,12 @@ func run() int {
 		if err := cfg.Validate(); err != nil {
 			fmt.Fprintf(os.Stderr, "monitor config: %v\n", err)
 			return 2
+		}
+		if *crashEvery != 0 {
+			return runCrash(m, crashCfg{
+				every: *crashEvery, batch: *netbatch, fault: *fault,
+				procs: *procs, ops: *ops, seeds: *seeds, monitor: cfg,
+			})
 		}
 		return runNet(m, netCfg{
 			addr: *addr, batch: *netbatch, fault: *fault,

@@ -61,7 +61,7 @@ func runNet(m spec.Model, cfg netCfg) int {
 
 			sess, err := monitorclient.Dial(cfg.addr, "stress", fmt.Sprintf("%s-seed-%d", run, seed), m.Name(),
 				monitorclient.WithConfig(cfg.monitor),
-				monitorclient.WithReconnect(3, 100*time.Millisecond))
+				monitorclient.WithReconnect(20, 250*time.Millisecond))
 			if err != nil {
 				o.err = err
 				return

@@ -274,6 +274,16 @@ func (s *Shards) Add(m spec.Model, opts ...IncOption) int {
 	return len(s.monitors) - 1
 }
 
+// AddMonitor appends an existing monitor — typically one rebuilt by
+// RestoreIncremental from a durable checkpoint — to the shard set and returns
+// its index. The per-shard verdict starts at the monitor's cached verdict, so
+// a shard restored mid-refutation stays refuted. Single-driver rule as Add.
+func (s *Shards) AddMonitor(inc *Incremental) int {
+	s.monitors = append(s.monitors, inc)
+	s.verdicts = append(s.verdicts, inc.Verdict())
+	return len(s.monitors) - 1
+}
+
 // Append extends shard i with deltas[i] for every shard and returns the
 // per-shard verdicts (aliasing an internal slice valid until the next call).
 // A nil delta skips its shard; len(deltas) beyond the shard count is an

@@ -1,0 +1,178 @@
+// Package ckpt is the durable-state layer of the monitoring pipeline
+// (DESIGN.md §2h): checksummed, versioned checkpoint envelopes written with
+// the write-temp → fsync → atomic-rename discipline of dedis/tlc's qscod fs
+// layer, behind a CAS-style generation counter so concurrent writers cannot
+// silently interleave, and over an injectable filesystem so crash recovery is
+// a tested contract — torn writes, crashes on either side of the rename,
+// ENOSPC and stale generations are all exercised by fault injection, not
+// argued about.
+//
+// The package deliberately knows nothing about monitors: it stores opaque
+// payloads under keys. internal/check defines what a monitor image contains,
+// internal/monitorapi the envelope payload the service writes, and
+// internal/monitorserver when checkpoints happen.
+package ckpt
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// FS is the slice of filesystem the store needs. Implementations must make
+// Rename atomic with respect to crashes (the real one: POSIX rename within a
+// directory) — everything else the store survives by checksum and generation
+// fallback.
+type FS interface {
+	MkdirAll(path string) error
+	Create(path string) (File, error)
+	Rename(oldPath, newPath string) error
+	ReadFile(path string) ([]byte, error)
+	// ReadDir lists the names (not paths) of the directory's entries.
+	ReadDir(path string) ([]string, error)
+	Remove(path string) error
+}
+
+// File is a writable file handle. Sync must not return until the bytes are
+// durable (the store syncs before every rename, so a crash after rename
+// cannot expose an empty or partial current generation).
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// OsFS is the real filesystem.
+type OsFS struct{}
+
+func (OsFS) MkdirAll(path string) error { return os.MkdirAll(path, 0o755) }
+
+func (OsFS) Create(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OsFS) Rename(oldPath, newPath string) error { return os.Rename(oldPath, newPath) }
+
+func (OsFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (OsFS) ReadDir(path string) ([]string, error) {
+	ents, err := os.ReadDir(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	return names, nil
+}
+
+func (OsFS) Remove(path string) error { return os.Remove(path) }
+
+// MemFS is an in-memory filesystem for tests and in-process soaks. Writes are
+// write-through (visible before Close), which is exactly what the fault layer
+// needs to model a torn write: a write that fails midway leaves its prefix.
+// Safe for concurrent use — crash-restart harnesses touch it from the dying
+// server's goroutines and the restarting one's.
+type MemFS struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	dirs  map[string]bool
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string][]byte), dirs: make(map[string]bool)}
+}
+
+func (m *MemFS) MkdirAll(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := filepath.Clean(path); p != "." && p != string(filepath.Separator); p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+func (m *MemFS) Create(path string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirs[filepath.Clean(filepath.Dir(path))] {
+		return nil, &os.PathError{Op: "create", Path: path, Err: os.ErrNotExist}
+	}
+	m.files[path] = nil
+	return &memFile{fs: m, path: path}, nil
+}
+
+func (m *MemFS) Rename(oldPath, newPath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[oldPath]
+	if !ok {
+		return &os.PathError{Op: "rename", Path: oldPath, Err: os.ErrNotExist}
+	}
+	m.files[newPath] = b
+	delete(m.files, oldPath)
+	return nil
+}
+
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.files[path]
+	if !ok {
+		return nil, &os.PathError{Op: "read", Path: path, Err: os.ErrNotExist}
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (m *MemFS) ReadDir(path string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir := filepath.Clean(path)
+	if !m.dirs[dir] {
+		return nil, &os.PathError{Op: "readdir", Path: path, Err: os.ErrNotExist}
+	}
+	var names []string
+	for p := range m.files {
+		if filepath.Dir(p) == dir {
+			names = append(names, filepath.Base(p))
+		}
+	}
+	return names, nil
+}
+
+func (m *MemFS) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &os.PathError{Op: "remove", Path: path, Err: os.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+type memFile struct {
+	fs   *MemFS
+	path string
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if _, ok := f.fs.files[f.path]; !ok {
+		return 0, &os.PathError{Op: "write", Path: f.path, Err: os.ErrClosed}
+	}
+	f.fs.files[f.path] = append(f.fs.files[f.path], p...)
+	return len(p), nil
+}
+
+func (f *memFile) Sync() error  { return nil }
+func (f *memFile) Close() error { return nil }

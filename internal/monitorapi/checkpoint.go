@@ -1,0 +1,58 @@
+package monitorapi
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/check"
+)
+
+// CheckpointVersion versions the service checkpoint payload — the JSON value
+// a linmond server stores inside a ckpt envelope, one per monitored object.
+// The ckpt envelope has its own version (framing/checksum); this one covers
+// the payload's field meanings. Readers refuse newer versions.
+const CheckpointVersion = 1
+
+// Checkpoint is the durable per-object record of the monitoring service: the
+// object's identity and configuration, the exactly-once resume cursor, and
+// the complete monitor image. hello.Acked after a restart is AppliedSeq of
+// the newest intact checkpoint, so reconnecting clients replay only the tail
+// their session still buffers (docs/api.md, "Durable state").
+type Checkpoint struct {
+	Version int    `json:"version"`
+	Tenant  string `json:"tenant"`
+	Object  string `json:"object"`
+	Model   string `json:"model"`
+	// Config is the object's pinned monitor configuration; a session reopen
+	// whose configuration disagrees is refused, exactly as against a live
+	// object.
+	Config check.Config `json:"config,omitzero"`
+	// AppliedSeq is the highest batch sequence applied to the monitor before
+	// this image was taken.
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Monitor is the complete resume state (check.RestoreIncremental).
+	Monitor *check.MonitorImage `json:"monitor"`
+}
+
+// EncodeCheckpoint serialises a checkpoint payload.
+func EncodeCheckpoint(c *Checkpoint) ([]byte, error) {
+	if c.Version == 0 {
+		c.Version = CheckpointVersion
+	}
+	return json.Marshal(c)
+}
+
+// DecodeCheckpoint parses and version-checks a checkpoint payload.
+func DecodeCheckpoint(raw []byte) (*Checkpoint, error) {
+	var c Checkpoint
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return nil, fmt.Errorf("monitorapi: checkpoint payload: %w", err)
+	}
+	if c.Version != CheckpointVersion {
+		return nil, fmt.Errorf("monitorapi: checkpoint version %d, this build reads %d", c.Version, CheckpointVersion)
+	}
+	if c.Monitor == nil {
+		return nil, fmt.Errorf("monitorapi: checkpoint for %s/%s has no monitor image", c.Tenant, c.Object)
+	}
+	return &c, nil
+}

@@ -113,6 +113,17 @@ type ServerFrame struct {
 	Err     string `json:"err,omitempty"`
 	Gauge   *Gauge `json:"gauge,omitempty"`
 	Stats   *Stats `json:"stats,omitempty"`
+	// Persist, on hello, tells the client the server checkpoints this object
+	// durably: acked batches below Durable can never be asked for again, but
+	// after a server restart Acked may regress to Durable, so a client that
+	// wants to survive restarts must buffer acked batches until Durable
+	// passes them (monitorclient does exactly that).
+	Persist bool `json:"persist,omitempty"`
+	// Durable, on hello and acks, is the highest batch sequence covered by a
+	// durable checkpoint of the object. Always <= Acked; 0 when the server
+	// does not persist (Persist false). Additive field: old clients ignore
+	// it, old servers never set it — no protocol version bump.
+	Durable uint64 `json:"durable,omitempty"`
 }
 
 // VerdictString renders a check verdict for the wire.

@@ -17,6 +17,17 @@
 // exactly-once. The protocol is synchronous — the session owns its
 // connection from one goroutine, reading acks inline — so a Session is not
 // safe for concurrent use.
+//
+// Server restarts. A server that persists monitor state (hello.Persist) may
+// greet a reconnect with an Acked BELOW what it previously acknowledged —
+// its newest durable checkpoint. The session therefore keeps acked batches
+// in a replay buffer until the server's durable horizon (hello/ack Durable)
+// passes them, and on such a regression re-stages exactly the buffered tail
+// past the restored sequence; server-side state loss is thereby bounded by
+// the checkpoint lag, invisibly to the caller. Against a non-persistent
+// server nothing is buffered beyond the unacked window, and a restart that
+// regresses below it fails the session loudly — resuming would silently
+// hand the monitor a history with a hole in it.
 package monitorclient
 
 import (
@@ -75,6 +86,8 @@ type Session struct {
 	nextSeq uint64
 	verdict check.Verdict
 	pending []monitorapi.EventBatch // sent, not yet acked (resend buffer)
+	persist bool                    // server checkpoints durably (hello.Persist)
+	replay  []monitorapi.EventBatch // acked, not yet durable (restart buffer; persist only)
 	stats   *monitorapi.Stats
 	err     error
 }
@@ -133,15 +146,54 @@ func (s *Session) connect() error {
 	if s.window < 1 {
 		s.window = 1
 	}
+	if hello.Persist {
+		s.persist = true
+	}
+	// Durable horizon first: batches the server has checkpointed can never
+	// be asked for again, whatever happens to it.
+	for len(s.replay) > 0 && s.replay[0].Seq <= hello.Durable {
+		s.replay = s.replay[1:]
+	}
+	// A restarted server greets with Acked regressed to its newest durable
+	// checkpoint. Re-stage the replay-buffered tail past it: those batches
+	// were acked by the previous incarnation but are not in this one.
+	if n := len(s.replay); n > 0 && s.replay[n-1].Seq > hello.Acked {
+		i := 0
+		for i < n && s.replay[i].Seq <= hello.Acked {
+			i++
+		}
+		s.pending = append(append([]monitorapi.EventBatch(nil), s.replay[i:]...), s.pending...)
+		s.replay = s.replay[:i]
+	}
 	// Resume: drop batches the server already applied, resend the rest. A
 	// fresh Session attaching to an object the server has prior state for
 	// (client process restart) continues the sequence after the applied
 	// prefix — its events are the stream's continuation, not a replay.
 	for len(s.pending) > 0 && s.pending[0].Seq <= hello.Acked {
+		if s.persist {
+			s.replay = append(s.replay, s.pending[0])
+		}
 		s.pending = s.pending[1:]
 	}
 	if s.nextSeq <= hello.Acked {
 		s.nextSeq = hello.Acked + 1
+	}
+	// The resend must continue the server's stream without a hole. A gap
+	// means the server lost state beyond what the session still buffers —
+	// a restarted server without persistence, or a regression past the
+	// replay buffer. Resuming would silently monitor a history with a hole
+	// in it; failing here is the fix for exactly that (terminal: redialing
+	// reaches the same restarted server and the same gap).
+	floor := s.nextSeq
+	if len(s.pending) > 0 {
+		floor = s.pending[0].Seq
+	}
+	if floor > hello.Acked+1 {
+		nc.Close()
+		s.conn = nil
+		return s.terminal(fmt.Errorf(
+			"server lost batches %d..%d of %s/%s (restart acked %d, durable %d): beyond the session's replay buffer",
+			hello.Acked+1, floor-1, s.tenant, s.object, hello.Acked, hello.Durable))
 	}
 	for _, b := range s.pending {
 		if err := conn.send(monitorapi.ClientFrame{Type: monitorapi.FrameEvents, Batch: &b}); err != nil {
@@ -180,15 +232,18 @@ func (s *Session) Send(events history.History) error {
 			}
 		}
 		if !queued {
-			// Joining pending only after a successful send keeps the resend
-			// path exact: a batch the wire may not have carried is retried
-			// here, one the wire did carry is resent by connect — and the
-			// server's seq dedup absorbs the case where both happened.
+			// Joining pending BEFORE the write hands the batch to the resume
+			// path: if the wire dies mid-send, connect trims it by the
+			// hello's acked sequence and resends it with the rest of the
+			// pending tail — otherwise connect would see a sequence past the
+			// server's acked with nothing buffered to fill it and report a
+			// false gap. A batch both carried by the dying wire and resent by
+			// connect is absorbed by the server's seq dedup.
+			s.pending = append(s.pending, batch)
+			queued = true
 			if err := s.conn.send(monitorapi.ClientFrame{Type: monitorapi.FrameEvents, Batch: &batch}); err != nil {
 				return err
 			}
-			s.pending = append(s.pending, batch)
-			queued = true
 		}
 		return nil
 	})
@@ -252,7 +307,17 @@ func (s *Session) readFrame() error {
 	switch f.Type {
 	case monitorapi.FrameAck:
 		for len(s.pending) > 0 && s.pending[0].Seq <= f.Seq {
+			if s.persist {
+				// Keep acked batches until the durable horizon passes them:
+				// a restarted server may regress to its newest checkpoint,
+				// and these are what connect re-stages (bounded by the
+				// server's checkpoint lag, not the stream length).
+				s.replay = append(s.replay, s.pending[0])
+			}
 			s.pending = s.pending[1:]
+		}
+		for len(s.replay) > 0 && s.replay[0].Seq <= f.Durable {
+			s.replay = s.replay[1:]
 		}
 		if v, err := monitorapi.ParseVerdict(f.Verdict); err == nil {
 			s.verdict = v

@@ -32,6 +32,7 @@ package monitorserver
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -39,6 +40,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/check"
+	"repro/internal/ckpt"
 	"repro/internal/history"
 	"repro/internal/monitorapi"
 	"repro/internal/spec"
@@ -62,6 +64,18 @@ type Options struct {
 	// Logf receives server diagnostics (default log.Printf; set to a no-op
 	// to silence).
 	Logf func(format string, args ...any)
+	// Store, when set, makes monitor state durable (DESIGN.md §2h): every
+	// object is checkpointed into it periodically and on dispatcher drain
+	// (Close / SIGTERM), and an open for an object this instance does not
+	// hold in memory first tries to restore it — hello.Acked then resumes at
+	// the checkpointed sequence instead of zero. nil (the default) keeps the
+	// pre-durability behaviour: state lives and dies with the process.
+	Store *ckpt.Store
+	// CheckpointEvery is how many applied batches an object accumulates
+	// between periodic checkpoints (default 64; meaningful only with Store).
+	// Smaller bounds the replay a restart asks of clients; larger amortises
+	// the serialisation cost.
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -77,6 +91,9 @@ func (o Options) withDefaults() Options {
 	if o.GaugeEvery == 0 {
 		o.GaugeEvery = 16
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 64
+	}
 	if o.Logf == nil {
 		o.Logf = log.Printf
 	}
@@ -87,11 +104,19 @@ func (o Options) withDefaults() Options {
 // dispatcher's Shards plus resume bookkeeping. Dispatcher-owned.
 type object struct {
 	shard   int
+	tenant  string
+	name    string
 	model   string
 	cfg     check.Config
 	applied uint64   // highest batch seq applied (flushed)
 	staged  uint64   // batches accepted into the current absorb round
 	sess    *session // active session, nil when detached
+
+	// Durability bookkeeping (Options.Store; all dispatcher-owned).
+	key       string // store key (tenant + NUL + object)
+	gen       uint64 // newest store generation this instance wrote or restored
+	durable   uint64 // highest batch seq covered by a durable checkpoint
+	sinceCkpt int    // batches applied since the last successful checkpoint
 }
 
 // ingestMsg is one unit of dispatcher work, queued by reader goroutines.
@@ -335,6 +360,20 @@ func (s *Server) dispatch() {
 	defer close(s.done)
 	shards := check.NewShards(nil, s.opts.Workers)
 	objects := make(map[string]*object)
+	// Final checkpoints on drain: Close (and therefore SIGTERM in linmond)
+	// closes the ingest channel after the readers stop, so every applied
+	// batch is already flushed when this runs — the graceful path loses
+	// nothing, and the next instance's hello.Acked equals the last ack sent.
+	defer func() {
+		if s.opts.Store == nil {
+			return
+		}
+		for _, obj := range objects {
+			if obj.applied > obj.durable {
+				s.checkpoint(shards, obj)
+			}
+		}
+	}()
 
 	var deltas []history.History
 	var acks []pendingAck
@@ -398,11 +437,13 @@ func (s *Server) stageBatch(shards *check.Shards, msg ingestMsg, deltas *[]histo
 	expect := obj.applied + obj.staged + 1
 	if msg.seq != expect {
 		if msg.seq <= obj.applied {
-			// Replay of an applied batch (a resend that raced its ack):
+			// Replay of an applied batch (a resend that raced its ack, or a
+			// post-restart resend of a batch the checkpoint already covers):
 			// ack without re-applying.
 			msg.sess.enqueue(monitorapi.ServerFrame{
 				Type: monitorapi.FrameAck, Seq: msg.seq,
 				Verdict: shards.Shard(obj.shard).Verdict().String(),
+				Durable: obj.durable,
 			}, s)
 			return
 		}
@@ -437,8 +478,7 @@ func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, ms
 		s.abort(msg.sess, monitorapi.FrameError, fmt.Sprintf("config: %v", err))
 		return
 	}
-	model, known := spec.ByName(o.Model)
-	if !known {
+	if _, known := spec.ByName(o.Model); !known {
 		s.abort(msg.sess, monitorapi.FrameError, fmt.Sprintf("unknown model %q", o.Model))
 		return
 	}
@@ -446,10 +486,10 @@ func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, ms
 	obj := objects[key]
 	switch {
 	case obj == nil:
-		obj = &object{
-			shard: shards.Add(model, check.WithConfig(o.Config)),
-			model: o.Model,
-			cfg:   o.Config,
+		var aborted bool
+		obj, aborted = s.openObject(shards, o, key, msg.sess)
+		if aborted {
+			return
 		}
 		objects[key] = obj
 	case obj.sess != nil:
@@ -469,15 +509,87 @@ func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, ms
 	msg.sess.enqueue(monitorapi.ServerFrame{
 		Type: monitorapi.FrameHello, Version: monitorapi.ProtocolVersion,
 		Acked: obj.applied, Window: msg.sess.window,
+		Persist: s.opts.Store != nil, Durable: obj.durable,
 	}, s)
 }
 
-// flush applies one absorb round's deltas and streams the acks.
+// openObject builds the object record for a first open of key on this
+// instance. With a Store it first tries to restore the newest intact durable
+// checkpoint: on success the session resumes at the checkpointed sequence; a
+// durable object whose pinned model/config disagrees with the open aborts the
+// session (exactly as a live mismatch would); a missing checkpoint starts
+// fresh silently; a corrupt or unrestorable one starts fresh loudly — the
+// client sees the truth in hello.Acked and either replays from its buffer or
+// fails, never silently diverges (monitorclient's replay contract).
+func (s *Server) openObject(shards *check.Shards, o *monitorapi.Open, key string, sess *session) (*object, bool) {
+	obj := &object{
+		tenant: o.Tenant,
+		name:   o.Object,
+		model:  o.Model,
+		cfg:    o.Config,
+		key:    key,
+	}
+	if s.opts.Store == nil {
+		obj.shard = shards.Add(mustModel(o.Model), check.WithConfig(o.Config))
+		return obj, false
+	}
+	payload, gen, err := s.opts.Store.Restore(key)
+	if err != nil {
+		if gens, gerr := s.opts.Store.Generations(key); gerr == nil && len(gens) > 0 {
+			// Generations exist but none restored: log loudly, start fresh,
+			// and anchor the CAS counter past them so the fresh line's first
+			// save does not collide with the unreadable history.
+			s.opts.Logf("linmond: %s/%s: no intact checkpoint, starting fresh: %v", o.Tenant, o.Object, err)
+			obj.gen = gens[len(gens)-1]
+		}
+		obj.shard = shards.Add(mustModel(o.Model), check.WithConfig(o.Config))
+		return obj, false
+	}
+	cp, err := monitorapi.DecodeCheckpoint(payload)
+	if err == nil && (cp.Tenant != o.Tenant || cp.Object != o.Object) {
+		err = fmt.Errorf("checkpoint belongs to %s/%s", cp.Tenant, cp.Object)
+	}
+	if err != nil {
+		s.opts.Logf("linmond: %s/%s: generation %d unusable, starting fresh: %v", o.Tenant, o.Object, gen, err)
+		obj.gen = gen
+		obj.shard = shards.Add(mustModel(o.Model), check.WithConfig(o.Config))
+		return obj, false
+	}
+	if cp.Model != o.Model || cp.Config != o.Config {
+		s.abort(sess, monitorapi.FrameError,
+			fmt.Sprintf("object %s/%s has durable state with a different model or config", o.Tenant, o.Object))
+		return nil, true
+	}
+	inc, err := check.RestoreIncremental(cp.Monitor)
+	if err != nil {
+		s.opts.Logf("linmond: %s/%s: generation %d image rejected, starting fresh: %v", o.Tenant, o.Object, gen, err)
+		obj.gen = gen
+		obj.shard = shards.Add(mustModel(o.Model), check.WithConfig(o.Config))
+		return obj, false
+	}
+	obj.shard = shards.AddMonitor(inc)
+	obj.applied = cp.AppliedSeq
+	obj.durable = cp.AppliedSeq
+	obj.gen = gen
+	s.opts.Logf("linmond: %s/%s: restored generation %d at seq %d", o.Tenant, o.Object, gen, cp.AppliedSeq)
+	return obj, false
+}
+
+// mustModel resolves a model name handleOpen already validated.
+func mustModel(name string) spec.Model {
+	m, _ := spec.ByName(name)
+	return m
+}
+
+// flush applies one absorb round's deltas, takes any due periodic
+// checkpoints, and streams the acks. Checkpoints happen before acks so an
+// ack's Durable field reflects this round's checkpoint, not the previous one.
 func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pendingAck) {
 	if len(acks) == 0 {
 		return
 	}
 	verdicts := shards.Append(deltas)
+	var touched []*object
 	for _, a := range acks {
 		obj := a.sess.obj
 		if obj == nil {
@@ -489,13 +601,28 @@ func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pe
 		// not re-apply the batch.
 		obj.applied = a.seq
 		obj.staged = 0
-		if obj.sess != a.sess {
+		obj.sinceCkpt++
+		if len(touched) == 0 || touched[len(touched)-1] != obj {
+			touched = append(touched, obj)
+		}
+	}
+	if s.opts.Store != nil {
+		for _, obj := range touched {
+			if obj.sinceCkpt >= s.opts.CheckpointEvery {
+				s.checkpoint(shards, obj)
+			}
+		}
+	}
+	for _, a := range acks {
+		obj := a.sess.obj
+		if obj == nil || obj.sess != a.sess {
 			continue
 		}
 		a.sess.acks++
 		a.sess.enqueue(monitorapi.ServerFrame{
 			Type: monitorapi.FrameAck, Seq: a.seq,
 			Verdict: verdicts[obj.shard].String(),
+			Durable: obj.durable,
 		}, s)
 		if s.opts.GaugeEvery > 0 && a.sess.acks%s.opts.GaugeEvery == 0 {
 			st := shards.Shard(obj.shard).Stats()
@@ -509,4 +636,43 @@ func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pe
 			}, s)
 		}
 	}
+}
+
+// checkpoint durably saves one object's monitor under the CAS rule. Failures
+// are logged and non-fatal — the monitor keeps running, the object's durable
+// horizon simply stops advancing and the next due round retries. ErrStale
+// means another instance is writing this key (two linmonds sharing a state
+// dir); that is a deployment error worth shouting about, but shouting is all
+// that is safe to do from here.
+func (s *Server) checkpoint(shards *check.Shards, obj *object) {
+	obj.sinceCkpt = 0
+	img, err := shards.Shard(obj.shard).Checkpoint()
+	if err != nil {
+		s.opts.Logf("linmond: checkpoint %s/%s: %v", obj.tenant, obj.name, err)
+		return
+	}
+	payload, err := monitorapi.EncodeCheckpoint(&monitorapi.Checkpoint{
+		Version:    monitorapi.CheckpointVersion,
+		Tenant:     obj.tenant,
+		Object:     obj.name,
+		Model:      obj.model,
+		Config:     obj.cfg,
+		AppliedSeq: obj.applied,
+		Monitor:    img,
+	})
+	if err != nil {
+		s.opts.Logf("linmond: checkpoint %s/%s: %v", obj.tenant, obj.name, err)
+		return
+	}
+	gen, err := s.opts.Store.Save(obj.key, obj.gen, payload)
+	if err != nil {
+		if errors.Is(err, ckpt.ErrStale) {
+			s.opts.Logf("linmond: checkpoint %s/%s: ANOTHER WRITER OWNS THIS KEY: %v", obj.tenant, obj.name, err)
+		} else {
+			s.opts.Logf("linmond: checkpoint %s/%s: %v", obj.tenant, obj.name, err)
+		}
+		return
+	}
+	obj.gen = gen
+	obj.durable = obj.applied
 }

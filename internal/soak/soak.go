@@ -4,10 +4,14 @@
 // comparison, window bound), the B10 checker-allocation workloads (model,
 // concurrency, seed) and the B11 parallel shard-verification workload
 // (shard count, histories, worker widths). Sharing one definition keeps the
-// benchmarks and their gates from drifting onto different workloads.
+// benchmarks and their gates from drifting onto different workloads. The
+// B12 never-quiescent commit-cut soak, the B13 fast-tier workload and the
+// B14 durable-checkpoint soak live here for the same reason.
 package soak
 
 import (
+	"encoding/json"
+	"fmt"
 	"time"
 
 	"repro/internal/check"
@@ -148,6 +152,116 @@ func RunNeverQuiescent(m spec.Model, ops, workers int, policy check.RetentionPol
 	res.CommitCuts = st.CommitCuts
 	res.CarriedOps = st.CarriedOps
 	res.Yes = retained.Verdict() == check.Yes
+	return res
+}
+
+// B14Every is the checkpoint cadence of the B14 durable-state soak: bursts
+// between checkpoint exports.
+const B14Every = 16
+
+// B14ByteBound is the serialised-checkpoint size bound the B14 gate
+// enforces: a generous per-event allowance over the retained-window bound
+// plus fixed envelope headroom (config, planner, frontier bookkeeping) — a
+// checkpoint is O(retained window), never O(history).
+func B14ByteBound(p check.RetentionPolicy) int {
+	return 256*WindowBound(p) + 64<<10
+}
+
+// B14Result carries the B14 durable-checkpoint acceptance numbers.
+type B14Result struct {
+	Events      int    // events in the monitored stream
+	Checkpoints int    // envelopes exported during the soak
+	MaxBytes    int    // largest serialised checkpoint (JSON bytes)
+	Bound       int    // byte bound MaxBytes must stay under
+	RestoredAt  int    // burst index where the mid-soak clone was restored; -1 if never
+	DivergedAt  int    // burst index of the first primary/clone verdict divergence; -1 if none
+	Err         string // first checkpoint or restore failure; "" if none
+	Yes         bool   // final verdict of the primary monitor
+}
+
+// Ok reports whether the soak met the B14 acceptance criteria: checkpoints
+// bounded by the retained window, a clean round trip mid-soak, and a clone
+// restored from that checkpoint staying verdict-identical to the
+// uninterrupted primary for the rest of the stream.
+func (r B14Result) Ok() bool {
+	return r.Yes && r.Err == "" && r.DivergedAt < 0 &&
+		r.Checkpoints > 0 && r.RestoredAt >= 0 && r.MaxBytes <= r.Bound
+}
+
+// RunCheckpointSoak is the shared body of the B14 acceptance checks
+// (TestSoakCheckpointRestoreB14, the cmd/perfgate B14 gate): the bounded
+// monitor streams the never-quiescent B12 workload while its checkpoint is
+// exported and serialised every B14Every bursts, tracking the largest
+// envelope against the O(retained window) byte bound. At the first
+// checkpoint past the midpoint the envelope is restored into a clone
+// (through JSON, the durable representation) which then ingests the same
+// remaining bursts as the primary, comparing verdicts at every burst — the
+// crash-restart contract with the crash at an arbitrary point and the
+// recovery judged against the uninterrupted run.
+func RunCheckpointSoak(m spec.Model, ops, workers int, policy check.RetentionPolicy, commitCuts bool) B14Result {
+	policy.CommitCuts = commitCuts
+	h := trace.NeverQuiescent(m, 29, 5, ops)
+	opts := []check.IncOption{check.WithRetention(policy)}
+	if workers > 1 {
+		opts = append(opts, check.WithParallelism(workers))
+	}
+	primary := check.NewIncremental(m, opts...)
+	res := B14Result{Events: len(h), Bound: B14ByteBound(policy), RestoredAt: -1, DivergedAt: -1}
+	fail := func(k int, err error) {
+		if res.Err == "" {
+			res.Err = fmt.Sprintf("burst %d: %v", k, err)
+		}
+	}
+	var clone *check.Incremental
+	mid := len(h) / B12Burst / 2
+	for k := 0; len(h) > 0 && res.Err == ""; k++ {
+		n := B12Burst
+		if n > len(h) {
+			n = len(h)
+		}
+		vp := primary.Append(h[:n])
+		if clone != nil {
+			if vc := clone.Append(h[:n]); vc != vp && res.DivergedAt < 0 {
+				res.DivergedAt = k
+			}
+		}
+		h = h[n:]
+		if k%B14Every != 0 && !(clone == nil && k >= mid) {
+			continue
+		}
+		img, err := primary.Checkpoint()
+		if err != nil {
+			fail(k, err)
+			break
+		}
+		raw, err := json.Marshal(img)
+		if err != nil {
+			fail(k, err)
+			break
+		}
+		res.Checkpoints++
+		if len(raw) > res.MaxBytes {
+			res.MaxBytes = len(raw)
+		}
+		if clone == nil && k >= mid {
+			var dec check.MonitorImage
+			if err := json.Unmarshal(raw, &dec); err != nil {
+				fail(k, err)
+				break
+			}
+			c, err := check.RestoreIncremental(&dec)
+			if err != nil {
+				fail(k, err)
+				break
+			}
+			if c.Verdict() != vp {
+				fail(k, fmt.Errorf("restored verdict %v, primary %v", c.Verdict(), vp))
+				break
+			}
+			clone, res.RestoredAt = c, k
+		}
+	}
+	res.Yes = primary.Verdict() == check.Yes
 	return res
 }
 

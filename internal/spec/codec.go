@@ -1,0 +1,176 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// This file is the canonical state codec behind durable monitor checkpoints
+// (internal/check.MonitorImage, internal/ckpt): every built-in model's states
+// encode to the same canonical string Key() produces, and DecodeState inverts
+// the encoding back into a live State of the model. The encoding is the
+// existing Key() grammar — "q:1,2" (queue), "s:…" (stack), "e:…" (set),
+// "p:…" (priority queue), "c:N" (counter), "r:N" (register), "d:_"/"d:N"
+// (consensus), "n:…" (snapshot) — so checkpoint envelopes stay human-readable
+// and the longitudinal experiment records keep meaning.
+//
+// Decoding a slice-backed model replays its canonical constructor operations
+// (Enq/Push/Add/Insert) from Init, which rebuilds not just the abstract state
+// but the identical incremental fingerprint: the window fingerprints are pure
+// functions of the window contents (polynomial in window order for queue and
+// stack, commutative sums for set and pqueue — see seqstate.go), so a decoded
+// state interns and memoises exactly like the state it was encoded from.
+// Scalar models construct their states directly.
+//
+// DecodeState validates shape (prefix, integer syntax, set/pqueue ordering)
+// and fails loudly on anything else: a checkpoint that passed its envelope
+// checksum but carries a state another model wrote, or a corrupted encoding,
+// must surface as an error — never as a silently wrong frontier.
+
+// EncodeState returns the canonical encoding of s — its Key(). It exists as
+// a named half of the codec so checkpoint writers and readers share one
+// documented contract with DecodeState.
+func EncodeState(s State) string { return s.Key() }
+
+// DecodeState inverts EncodeState for states of model m. The returned state
+// is EqualState to (and carries the same Fingerprint as) the encoded one.
+func DecodeState(m Model, enc string) (State, error) {
+	prefix, rest, ok := strings.Cut(enc, ":")
+	if !ok {
+		return nil, fmt.Errorf("state encoding %q: no kind prefix", enc)
+	}
+	want := modelKeyPrefix(m)
+	if want == "" {
+		return nil, fmt.Errorf("model %s has no state codec", m.Name())
+	}
+	if prefix != want {
+		return nil, fmt.Errorf("state encoding %q: kind %q does not belong to model %s (want %q)",
+			enc, prefix, m.Name(), want)
+	}
+	switch mm := m.(type) {
+	case queueModel:
+		return replaySeq(m, MethodEnq, rest)
+	case stackModel:
+		return replaySeq(m, MethodPush, rest)
+	case setModel:
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] <= vals[i-1] {
+				return nil, fmt.Errorf("state encoding %q: set values not strictly ascending", enc)
+			}
+		}
+		return replayVals(m, MethodAdd, vals)
+	case pqueueModel:
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				return nil, fmt.Errorf("state encoding %q: pqueue values not sorted", enc)
+			}
+		}
+		return replayVals(m, MethodInsert, vals)
+	case counterModel:
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		return counterState(v), nil
+	case registerModel:
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		return registerState(v), nil
+	case consensusModel:
+		if rest == "_" {
+			return consensusState{}, nil
+		}
+		v, err := strconv.ParseInt(rest, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		return consensusState{decided: true, val: v}, nil
+	case snapshotModel:
+		vals, err := parseIntList(rest)
+		if err != nil {
+			return nil, fmt.Errorf("state encoding %q: %w", enc, err)
+		}
+		if len(vals) != 0 && len(vals) != mm.n {
+			return nil, fmt.Errorf("state encoding %q: %d entries for a %d-entry snapshot", enc, len(vals), mm.n)
+		}
+		return snapshotState{vals: rest, n: mm.n}, nil
+	default:
+		return nil, fmt.Errorf("model %s has no state codec", m.Name())
+	}
+}
+
+// modelKeyPrefix maps a model to the kind prefix its Key() encodings carry,
+// or "" for models outside the codec.
+func modelKeyPrefix(m Model) string {
+	switch m.(type) {
+	case queueModel:
+		return "q"
+	case stackModel:
+		return "s"
+	case setModel:
+		return "e"
+	case pqueueModel:
+		return "p"
+	case counterModel:
+		return "c"
+	case registerModel:
+		return "r"
+	case consensusModel:
+		return "d"
+	case snapshotModel:
+		return "n"
+	default:
+		return ""
+	}
+}
+
+// replaySeq rebuilds a sequence-window state by replaying the model's
+// inserting method over the listed values in window order.
+func replaySeq(m Model, method string, rest string) (State, error) {
+	vals, err := parseIntList(rest)
+	if err != nil {
+		return nil, fmt.Errorf("state encoding %q:%q: %w", modelKeyPrefix(m), rest, err)
+	}
+	return replayVals(m, method, vals)
+}
+
+func replayVals(m Model, method string, vals []int64) (State, error) {
+	st := m.Init()
+	for _, v := range vals {
+		next, _, ok := st.Apply(Operation{Method: method, Arg: v})
+		if !ok {
+			return nil, fmt.Errorf("model %s: replaying %s(%d) failed", m.Name(), method, v)
+		}
+		st = next
+	}
+	return st, nil
+}
+
+// parseIntList parses the canonical comma-separated form appendInts writes.
+// The empty string is the empty list.
+func parseIntList(s string) ([]int64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	vals := make([]int64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p)
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
