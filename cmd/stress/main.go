@@ -10,6 +10,7 @@
 //	stress -model counter -decoupled -verifiers 3 -ops 2000
 //	stress -model counter -decoupled -fullrecheck -ops 2000   # paper-literal loop
 //	stress -model counter -decoupled -retain -ops 25000       # bounded-memory soak
+//	stress -model queue -decoupled -pipeline -ops 5000        # overlapped ingest/check
 //	stress -model queue -decoupled -ops 5000 -cpuprofile cpu.out -memprofile mem.out
 //
 // With -net the soak runs against a linmond monitoring service instead of an
@@ -73,6 +74,7 @@ func run() int {
 	report := flag.Duration("report", 2*time.Second, "retention: live heap/retained-ops reporting interval (0 = off)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the soak to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at soak end to this file")
+	pipeline := flag.Bool("pipeline", false, "overlap ingest assembly with the previous burst's check (decoupled: the dispatcher monitor; crash: the in-process server's absorb rounds; net: rides in the open config — server-side overlap needs linmond -pipeline)")
 	netMode := flag.Bool("net", false, "stream the soak to a linmond server instead of an in-process pipeline")
 	addr := flag.String("addr", "127.0.0.1:7474", "net: linmond server address")
 	netbatch := flag.Int("netbatch", 128, "net and crash modes: events per wire batch")
@@ -140,7 +142,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "%s mode supports -fault mutate (trace perturbation), not %q\n", mode, *fault)
 			return 2
 		}
-		cfg := check.Config{NoFastTier: !*fasttier}
+		cfg := check.Config{NoFastTier: !*fasttier, Pipeline: *pipeline}
 		if *workers > 1 {
 			cfg.Parallelism = *workers
 		}
@@ -156,11 +158,13 @@ func run() int {
 			return runCrash(m, crashCfg{
 				every: *crashEvery, batch: *netbatch, fault: *fault,
 				procs: *procs, ops: *ops, seeds: *seeds, monitor: cfg,
+				pipeline: *pipeline,
 			})
 		}
 		return runNet(m, netCfg{
 			addr: *addr, batch: *netbatch, fault: *fault,
 			procs: *procs, ops: *ops, seeds: *seeds, monitor: cfg,
+			pipeline: *pipeline,
 		})
 	}
 
@@ -208,6 +212,14 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "-commitcuts requires -retain (commit-point cuts are a retention discipline)")
 		return 2
 	}
+	if *pipeline && *fullrecheck {
+		fmt.Fprintln(os.Stderr, "-pipeline is incompatible with -fullrecheck (the paper-literal loop has no incremental monitor to pipeline)")
+		return 2
+	}
+	if *pipeline && !*decoupled {
+		fmt.Fprintln(os.Stderr, "-pipeline requires -decoupled (or -net/-crash-every, whose server dispatcher it toggles)")
+		return 2
+	}
 	fasttierSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "fasttier" {
@@ -227,6 +239,7 @@ func run() int {
 			fault: *fault, rate: *rate, procs: *procs, ops: *ops, seeds: *seeds,
 			verifiers: *verifiers, fullrecheck: *fullrecheck, fasttier: *fasttier,
 			retain: *retain, commitcuts: *commitcuts, workers: *workers, gcbatch: *gcbatch, report: *report,
+			pipeline: *pipeline,
 		}
 		return runDecoupled(m, obj, mode, cfg)
 	}
@@ -299,6 +312,7 @@ type decoupledCfg struct {
 	workers     int
 	gcbatch     int
 	report      time.Duration
+	pipeline    bool
 }
 
 // runDecoupled soaks D_{O,A} (Figure 12): producers never wait for
@@ -331,6 +345,9 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		}
 		if !cfg.fasttier {
 			opts = append(opts, core.WithDecoupledFastTier(false))
+		}
+		if cfg.pipeline {
+			opts = append(opts, core.WithDecoupledPipeline(true))
 		}
 		d := core.NewDecoupled(inner, cfg.procs, cfg.verifiers, obj,
 			func(core.Report) { reports.Add(1) }, opts...)
@@ -393,6 +410,9 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 		agg.Verify.Check.Compactions += st.Verify.Check.Compactions
 		agg.Verify.Check.GCRuns += st.Verify.Check.GCRuns
 		agg.Verify.Check.DiscardedEvents += st.Verify.Check.DiscardedEvents
+		agg.Verify.Check.PipelineRounds += st.Verify.Check.PipelineRounds
+		agg.Verify.Check.PipelineStalls += st.Verify.Check.PipelineStalls
+		agg.Verify.PipelineWaitNs += st.Verify.PipelineWaitNs
 		// Gauges, not counters: keep the last run's final state.
 		agg.Verify.RetainedTuples = st.Verify.RetainedTuples
 		agg.Verify.Check.RetainedEvents = st.Verify.Check.RetainedEvents
@@ -409,8 +429,8 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 	}
 	elapsed := time.Since(start)
 
-	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v commitcuts=%v workers=%d fasttier=%v\n",
-		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.commitcuts, cfg.workers, cfg.fasttier)
+	fmt.Printf("decoupled model=%s fault=%q rate=%d procs=%d ops/proc=%d runs=%d verifiers=%d fullrecheck=%v retain=%v commitcuts=%v workers=%d fasttier=%v pipeline=%v\n",
+		m.Name(), cfg.fault, cfg.rate, cfg.procs, cfg.ops, cfg.seeds, cfg.verifiers, cfg.fullrecheck, cfg.retain, cfg.commitcuts, cfg.workers, cfg.fasttier, cfg.pipeline)
 	fmt.Printf("produced ops: %d in %v (%.0f ops/s)\n",
 		totalOps.Load(), elapsed.Round(time.Millisecond), float64(totalOps.Load())/elapsed.Seconds())
 	fmt.Printf("pipeline: scans=%d passes=%d tuples=%d groups=%d rebuilds=%d segchecks=%d fallbacks=%d compactions=%d reports=%d\n",
@@ -419,6 +439,14 @@ func runDecoupled(m spec.Model, obj genlin.Object, mode impls.FaultMode, cfg dec
 	if !cfg.fullrecheck {
 		fmt.Printf("fast tier: hits=%d fallbacks=%d (0/0 is expected with -fasttier=false or a model outside the tier's fragment)\n",
 			agg.Verify.Check.FastTierHits, agg.Verify.Check.FastTierFallbacks)
+	}
+	if cfg.pipeline {
+		// Overlap diagnostics: rounds whose Append ran concurrently with the
+		// next burst's assembly, forced joins, and the total time the
+		// dispatcher spent blocked on the hand-off channel.
+		fmt.Printf("pipeline: rounds=%d stalls=%d handoff-wait=%v\n",
+			agg.Verify.Check.PipelineRounds, agg.Verify.Check.PipelineStalls,
+			time.Duration(agg.Verify.PipelineWaitNs).Round(time.Microsecond))
 	}
 	if cfg.retain {
 		fmt.Printf("retention: gcruns=%d discarded-events=%d retained-events(last run)=%d discarded-tuples=%d retained-tuples(last run)=%d deferrals=%d released: result-nodes=%d ann-nodes=%d\n",

@@ -34,6 +34,16 @@ type Config struct {
 	// fragment). Inverted so the default is the zero value. Equivalent to
 	// WithFastTier(false).
 	NoFastTier bool `json:"no_fast_tier,omitempty"`
+	// Pipeline asks the *driver* of the monitor to overlap ingest assembly
+	// with the previous burst's Append: the decoupled dispatcher
+	// (core.WithDecoupledPipeline) and the linmond server double-buffer
+	// absorb rounds, handing the monitor off between rounds so there is
+	// still exactly one driving goroutine at a time. The monitor itself
+	// ignores the field — an Incremental built with Pipeline set is the
+	// sequential monitor; only drivers that document pipelining act on it.
+	// Verdicts, reports and stats stay bit-identical to the sequential
+	// driver (modulo the IncStats PipelineRounds/PipelineStalls counters).
+	Pipeline bool `json:"pipeline,omitempty"`
 }
 
 // Validate reports whether the configuration is well-formed: no negative

@@ -173,6 +173,22 @@ func WithDecoupledFastTier(enabled bool) DecoupledOption {
 	return func(c *decoupledCfg) { c.monitor.NoFastTier = !enabled }
 }
 
+// WithDecoupledPipeline overlaps the dispatcher's X(τ) assembly with the
+// previous burst's segment check (check.Config.Pipeline via
+// WithVerifierPipeline, DESIGN.md §2i): while the monitor runs burst N's
+// Append on a dedicated checker goroutine, the dispatcher absorbs and
+// assembles burst N+1, handing the monitor off over a 1-deep channel so
+// there is still exactly one driver at a time. Verdicts, reports and stats
+// are bit-identical to the sequential dispatcher (modulo the
+// PipelineRounds/PipelineStalls/PipelineWaitNs counters); the final drain
+// joins every round before Close returns, so CheckpointMonitor still
+// observes a committed round boundary. Incompatible with WithFullRecheck
+// (no incremental monitor to hand off); full-recheck wins if both are
+// given. Thin wrapper over check.Config (WithDecoupledConfig).
+func WithDecoupledPipeline(enabled bool) DecoupledOption {
+	return func(c *decoupledCfg) { c.monitor.Pipeline = enabled }
+}
+
 // NewDecoupled builds D_{O,A} with the given number of verifier goroutines.
 // onReport is called from the verification pipeline when a violation is
 // found; reports are deduplicated (one per violation — violations are sticky
@@ -187,6 +203,7 @@ func NewDecoupled(inner Implementation, n, verifiers int, obj genlin.Object, onR
 	if cfg.full {
 		cfg.monitor.Retain = false
 		cfg.monitor.Retention = check.RetentionPolicy{}
+		cfg.monitor.Pipeline = false
 	}
 	d := &Decoupled{
 		n:        n,
@@ -444,6 +461,10 @@ func (d *Decoupled) dispatch(scanners int) {
 			// announce). Report it instead of dropping the evidence.
 			iv.MarkCorrupt("announced operation's response tuple was never published")
 		}
+		// Join the last pipelined round and stop the checker goroutine before
+		// the final settle: Close's wait then guarantees the monitor is a
+		// settled, committed round boundary (CheckpointMonitor's contract).
+		iv.ClosePipeline()
 		settle()
 	}
 

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/history"
+)
+
+// checkPipe is the monitor hand-off behind check.Config.Pipeline (DESIGN.md
+// §2i): one checker goroutine owns the monitor while an Append is in flight,
+// and the dispatcher owns it the rest of the time. Ownership transfers over
+// 1-deep channels — req hands the monitor to the checker together with the
+// round's events, done hands it back with the verdict — so the §2d
+// single-driving-goroutine contract holds by construction: the channel
+// send/receive pairs are the happens-before edges, and the inflight flag
+// (owned by the dispatcher) guarantees at most one round is ever between the
+// two sends. While a round is in flight the dispatcher may assemble the next
+// burst's X(τ) — pure assembler state, the monitor is never read — but every
+// monitor-touching operation (judge, rebuild, fail, MarkCorrupt, Witness)
+// must join first.
+type checkPipe struct {
+	req  chan history.History
+	done chan pipeResult
+	dead chan struct{} // closed when the checker goroutine has exited
+}
+
+// pipeResult is the checker's half of the hand-off: the verdict and sticky
+// error of the Append it just ran. Stats and GC counters are *not* shipped —
+// after the join the monitor is idle and the dispatcher reads them directly,
+// which is what keeps syncGC and stats bit-identical to sequential driving.
+type pipeResult struct {
+	verdict check.Verdict
+	err     error
+}
+
+// newCheckPipe starts the checker goroutine for inc. The goroutine exits when
+// req is closed (ClosePipeline).
+func newCheckPipe(inc *check.Incremental) *checkPipe {
+	p := &checkPipe{
+		req:  make(chan history.History, 1),
+		done: make(chan pipeResult, 1),
+		dead: make(chan struct{}),
+	}
+	go func() {
+		defer close(p.dead)
+		for events := range p.req {
+			v := inc.Append(events)
+			p.done <- pipeResult{verdict: v, err: inc.Err()}
+		}
+	}()
+	return p
+}
+
+// dispatchCheck hands the monitor and one round of assembled events to the
+// checker. The caller must have joined any previous round first (judge does).
+func (iv *IncVerifier) dispatchCheck(events history.History) {
+	iv.pipeRounds++
+	iv.pipe.req <- events
+	iv.inflight = true
+}
+
+// joinPipe takes the monitor back from the checker, blocking until the
+// in-flight Append (if any) completes, and folds its result in exactly where
+// the sequential judge would have: adopt the verdict and sticky error (unless
+// a violation was already recorded — MarkCorrupt must not be overwritten),
+// run the retention sync, refresh the merged monitor stats. natural
+// distinguishes the intended hand-off point (the next round's judge, or a
+// drain) from a forced join (rebuild, fail, MarkCorrupt, Witness) — only the
+// latter counts as a PipelineStall.
+func (iv *IncVerifier) joinPipe(natural bool) {
+	if iv.pipe == nil || !iv.inflight {
+		return
+	}
+	if !natural {
+		iv.pipeStalls++
+	}
+	start := time.Now()
+	res := <-iv.pipe.done
+	iv.pipeWaitNs += time.Since(start).Nanoseconds()
+	iv.inflight = false
+	if !iv.violated() {
+		iv.verdict = res.verdict
+		iv.err = res.err
+		iv.syncGC()
+	}
+	iv.stats.Check = iv.inc.Stats()
+	iv.wcache = iv.inc.WorkerStats()
+}
+
+// abortPass discards the speculative assembly of the current ingest pass: a
+// join revealed that the previous round already refuted the stream, so the
+// sequential dispatcher would have answered this pass from the sticky verdict
+// without assembling anything. The assembler counters are rolled back to the
+// pass-entry snapshot (keeping the just-joined monitor stats); the assembler
+// side-state the pass touched (dedup set, rebuild buffer, trackers) is left
+// as is — nothing reads it after a violation, every later pass is answered
+// from the sticky verdict at entry.
+func (iv *IncVerifier) abortPass() {
+	if iv.passBase == nil {
+		return
+	}
+	base := *iv.passBase
+	base.Check = iv.stats.Check
+	iv.stats = base
+	iv.passBase = nil
+}
+
+// Sync joins any in-flight pipelined check so that Verdict, Err, Stats and
+// Witness reflect every tuple ingested so far — the linearization point
+// external observers (tests, round-boundary checkpoints) use. A no-op without
+// pipelining, and not counted as a stall.
+func (iv *IncVerifier) Sync() { iv.joinPipe(true) }
+
+// ClosePipeline joins the in-flight round, stops the checker goroutine and
+// reverts the verifier to sequential driving. Idempotent. The decoupled
+// dispatcher calls it during its final drain, which is what makes
+// Decoupled.CheckpointMonitor's after-Close snapshot a committed round
+// boundary: by the time Close returns no goroutine but the caller can touch
+// the monitor, and the image never contains a half-absorbed burst.
+func (iv *IncVerifier) ClosePipeline() {
+	if iv.pipe == nil {
+		return
+	}
+	iv.joinPipe(true)
+	close(iv.pipe.req)
+	<-iv.pipe.dead
+	iv.pipe = nil
+}
+
+// Pipelined reports whether the verifier is currently driving its monitor
+// through the hand-off pipeline.
+func (iv *IncVerifier) Pipelined() bool { return iv.pipe != nil }

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/genlin"
+	"repro/internal/impls"
+	"repro/internal/spec"
+	"repro/internal/trace"
+)
+
+// pipelineModels are the eight sequential objects the checker supports — the
+// pipelined dispatcher must be verdict-identical to sequential driving on
+// every one of them.
+func pipelineModels() []spec.Model {
+	return []spec.Model{
+		spec.Queue(), spec.Stack(), spec.Set(), spec.PQueue(),
+		spec.Counter(), spec.Register(0), spec.Consensus(), spec.SnapshotObj(3),
+	}
+}
+
+// pipeTuples generates a deterministic ops-operation published stream for m
+// over procs producers (the soak.Publish shape, inlined to avoid the import
+// cycle). With corrupt, one mid-stream response is replaced by a value the
+// object can never return, so the stream exercises the refutation paths —
+// fail, sticky error, witness — which are exactly the forced-join points of
+// the pipelined dispatcher. Each verifier under comparison must get its own
+// stream: the tuples share announce cons-lists through their views, and a
+// retained verifier truncates the lists it owns (see driveOne).
+func pipeTuples(m spec.Model, seed int64, procs, ops int, corrupt bool) []Tuple {
+	drv := NewDRV(impls.ForModel(m), procs)
+	var uniq trace.UniqSource
+	gen := trace.NewOpGen(m.Name(), seed, &uniq)
+	tuples := make([]Tuple, 0, ops)
+	for i := 0; i < ops; i++ {
+		p := i % procs
+		op := gen.Next()
+		y, view := drv.Apply(p, op)
+		tuples = append(tuples, Tuple{Proc: p, Op: op, Res: y, View: view})
+	}
+	if corrupt {
+		tuples[ops/2].Res = spec.ValueResp(-999)
+	}
+	return tuples
+}
+
+// maskPipeCounters zeroes the driver-side hand-off counters — the only stats
+// the pipelined dispatcher is allowed to differ in. Everything else in the
+// merged stats (assembler counters, monitor counters, GC gauges) must be
+// bit-identical to sequential driving.
+func maskPipeCounters(st IncVerifyStats) IncVerifyStats {
+	st.Check.PipelineRounds, st.Check.PipelineStalls, st.PipelineWaitNs = 0, 0, 0
+	return st
+}
+
+// comparePipelined asserts the pipelined verifier (already synced) is
+// bit-identical to the sequential reference: verdict, sticky error, merged
+// stats modulo the hand-off counters, the monitor's retained window and GC
+// horizon, and the witness when the stream was refuted.
+func comparePipelined(t *testing.T, label string, seq, pipe *IncVerifier) {
+	t.Helper()
+	if pipe.Verdict() != seq.Verdict() {
+		t.Fatalf("%s: pipelined verdict %v, sequential %v", label, pipe.Verdict(), seq.Verdict())
+	}
+	if fmt.Sprint(pipe.Err()) != fmt.Sprint(seq.Err()) {
+		t.Fatalf("%s: pipelined err %v, sequential %v", label, pipe.Err(), seq.Err())
+	}
+	got, want := maskPipeCounters(pipe.Stats()), maskPipeCounters(seq.Stats())
+	if seq.Verdict() == check.No || seq.Err() != nil {
+		// On a refuted stream the assembler's retained-tuples gauge freezes at
+		// the last retention sync before the violation went sticky — which
+		// under pipelining is the join that already staged the next pass's
+		// speculative assembly, one round later than the sequential driver's
+		// last write (DESIGN.md §2i). The state it gauges is dead (nothing
+		// reads the rebuild buffer after a violation), so only this gauge is
+		// masked; counters and the monitor-side gauges still must agree.
+		got.RetainedTuples, want.RetainedTuples = 0, 0
+	}
+	if got != want {
+		t.Fatalf("%s: stats diverge\npipelined:  %+v\nsequential: %+v", label, got, want)
+	}
+	if pipe.inc != nil && seq.inc != nil {
+		if got, want := pipe.inc.Discarded(), seq.inc.Discarded(); got != want {
+			t.Fatalf("%s: GC horizon diverges: pipelined %d, sequential %d", label, got, want)
+		}
+		if got, want := pipe.inc.History().String(), seq.inc.History().String(); got != want {
+			t.Fatalf("%s: retained window diverges\npipelined:\n%s\nsequential:\n%s", label, got, want)
+		}
+	}
+	if seq.Verdict() == check.No {
+		if got, want := pipe.Witness().String(), seq.Witness().String(); got != want {
+			t.Fatalf("%s: witness diverges\npipelined:\n%s\nsequential:\n%s", label, got, want)
+		}
+	}
+}
+
+// TestPipelinedVerifierEquivalence: on every model, on legal and corrupted
+// streams, under every monitor configuration the pipeline composes with
+// (retention, commit-point cuts, disabled fast tier, parallel segments), the
+// pipelined dispatcher is bit-identical to sequential driving — verdicts at
+// every burst boundary for the synced driver, and verdict/error/stats/window/
+// witness at the end for the free-running driver that only joins once.
+func TestPipelinedVerifierEquivalence(t *testing.T) {
+	tight := check.RetentionPolicy{GCBatch: 1}
+	configs := []struct {
+		name string
+		cfg  check.Config
+	}{
+		{"plain", check.Config{}},
+		{"retention", check.Config{Retain: true, Retention: tight}},
+		{"commit-cuts", check.Config{Retain: true, Retention: check.RetentionPolicy{GCBatch: 1, CommitCuts: true}}},
+		{"no-fasttier", check.Config{Retain: true, Retention: tight, NoFastTier: true}},
+		{"parallel", check.Config{Parallelism: 2}},
+	}
+	const procs, ops, burst = 3, 48, 7
+	for _, m := range pipelineModels() {
+		for _, tc := range configs {
+			t.Run(m.Name()+"/"+tc.name, func(t *testing.T) {
+				for _, corrupt := range []bool{false, true} {
+					seqT := pipeTuples(m, 11, procs, ops, corrupt)
+					syncT := pipeTuples(m, 11, procs, ops, corrupt)
+					freeT := pipeTuples(m, 11, procs, ops, corrupt)
+					obj := genlin.Linearizability(m)
+					pcfg := tc.cfg
+					pcfg.Pipeline = true
+					seq := NewIncVerifier(procs, obj, WithVerifierConfig(tc.cfg))
+					synced := NewIncVerifier(procs, obj, WithVerifierConfig(pcfg))
+					free := NewIncVerifier(procs, obj, WithVerifierConfig(pcfg))
+					defer synced.ClosePipeline()
+					defer free.ClosePipeline()
+					if !synced.Pipelined() || !free.Pipelined() {
+						t.Fatal("Config.Pipeline did not start the hand-off pipeline")
+					}
+					for k := 0; k < len(seqT); k += burst {
+						end := min(k+burst, len(seqT))
+						seq.IngestTuples(seqT[k:end])
+						synced.IngestTuples(syncT[k:end])
+						free.IngestTuples(freeT[k:end])
+						synced.Sync()
+						if synced.Verdict() != seq.Verdict() {
+							t.Fatalf("corrupt=%v burst@%d: pipelined verdict %v, sequential %v",
+								corrupt, k, synced.Verdict(), seq.Verdict())
+						}
+					}
+					synced.Sync()
+					free.Sync()
+					label := fmt.Sprintf("corrupt=%v synced", corrupt)
+					comparePipelined(t, label, seq, synced)
+					comparePipelined(t, fmt.Sprintf("corrupt=%v free-running", corrupt), seq, free)
+					if !corrupt && synced.Stats().Check.PipelineRounds == 0 {
+						t.Fatal("pipelined driver recorded no rounds on a clean stream")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPipelinedCheckpointResume: a pipelined verifier checkpointed at a
+// round boundary (Sync is the linearization point round-boundary checkpoints
+// use) restores into a pipeline that resumes pipelined driving — the
+// restored monitor carries the committed rounds exactly, never a
+// half-absorbed burst, and the continuation stays verdict-identical to an
+// uninterrupted sequential reference.
+func TestPipelinedCheckpointResume(t *testing.T) {
+	const procs, ops, burst = 3, 60, 5
+	m := spec.Queue()
+	obj := genlin.Linearizability(m)
+	for _, corrupt := range []bool{false, true} {
+		seqT := pipeTuples(m, 23, procs, ops, corrupt)
+		pipeT := pipeTuples(m, 23, procs, ops, corrupt)
+		resT := pipeTuples(m, 23, procs, ops, corrupt)
+		cfg := check.Config{Retain: true, Retention: check.RetentionPolicy{GCBatch: 8}, Pipeline: true}
+		seqCfg := cfg
+		seqCfg.Pipeline = false
+		seq := NewIncVerifier(procs, obj, WithVerifierConfig(seqCfg))
+		pipe := NewIncVerifier(procs, obj, WithVerifierConfig(cfg))
+		var resumed *IncVerifier
+		for k := 0; k < len(seqT); k += burst {
+			end := min(k+burst, len(seqT))
+			if k == ops/2 {
+				// Join the in-flight round, then checkpoint: the image holds
+				// exactly the committed rounds. The next burst below is already
+				// staged against the restored monitor, so a half-absorbed burst
+				// in the image would surface as a divergence immediately.
+				pipe.Sync()
+				resumed = resumeRoundTrip(t, procs, obj, pipe)
+				if !resumed.Pipelined() {
+					t.Fatal("resume dropped Config.Pipeline: continuation is sequential")
+				}
+				defer resumed.ClosePipeline()
+				wantEvents := seq.Stats().Check.Events
+				if got := resumed.inc.Discarded() + len(resumed.inc.History()); got != wantEvents {
+					t.Fatalf("corrupt=%v: checkpoint carries %d events, %d rounds committed — a half-absorbed burst",
+						corrupt, got, wantEvents)
+				}
+			}
+			seq.IngestTuples(seqT[k:end])
+			pipe.IngestTuples(pipeT[k:end])
+			if resumed != nil {
+				resumed.IngestTuples(resT[k:end])
+			}
+		}
+		pipe.ClosePipeline()
+		resumed.Sync()
+		comparePipelined(t, fmt.Sprintf("corrupt=%v interrupted", corrupt), seq, pipe)
+		if resumed.Verdict() != seq.Verdict() {
+			t.Fatalf("corrupt=%v: resumed verdict %v, uninterrupted %v", corrupt, resumed.Verdict(), seq.Verdict())
+		}
+		if (resumed.Err() != nil) != (seq.Err() != nil) {
+			t.Fatalf("corrupt=%v: resumed err %v, uninterrupted %v", corrupt, resumed.Err(), seq.Err())
+		}
+		if got, want := resumed.inc.History().String(), seq.inc.History().String(); got != want {
+			t.Fatalf("corrupt=%v: resumed window diverges\nresumed:\n%s\nuninterrupted:\n%s", corrupt, got, want)
+		}
+	}
+}
+
+// FuzzPipelinedDispatch drives the pipelined and sequential dispatchers
+// through fuzzer-chosen burst splits and join points: splits picks the ingest
+// boundaries (a set bit ends the burst after that tuple), syncs picks which
+// of those boundaries also force a join, and corrupt injects an impossible
+// response mid-stream. Any divergence in verdicts, sticky errors, merged
+// stats (modulo the hand-off counters) or the retained window is a crash.
+func FuzzPipelinedDispatch(f *testing.F) {
+	f.Add(int64(1), uint8(0), uint64(0x5555555555555555), uint64(0), false)
+	f.Add(int64(2), uint8(1), uint64(0x1111111111111111), uint64(0xffffffffffffffff), true)
+	f.Add(int64(3), uint8(4), uint64(0), uint64(0x8), false)
+	f.Add(int64(4), uint8(7), uint64(0xf0f0f0f0f0f0f0f0), uint64(0x2), true)
+	f.Fuzz(func(t *testing.T, seed int64, modelIdx uint8, splits, syncs uint64, corrupt bool) {
+		models := pipelineModels()
+		m := models[int(modelIdx)%len(models)]
+		const procs, ops = 3, 48
+		seqT := pipeTuples(m, seed, procs, ops, corrupt)
+		pipeT := pipeTuples(m, seed, procs, ops, corrupt)
+		obj := genlin.Linearizability(m)
+		seq := NewIncVerifier(procs, obj)
+		pipe := NewIncVerifier(procs, obj, WithVerifierPipeline(true))
+		defer pipe.ClosePipeline()
+		start := 0
+		for i := range seqT {
+			if splits&(1<<(uint(i)%64)) == 0 && i != len(seqT)-1 {
+				continue
+			}
+			seq.IngestTuples(seqT[start : i+1])
+			pipe.IngestTuples(pipeT[start : i+1])
+			start = i + 1
+			if syncs&(1<<(uint(i)%64)) != 0 {
+				pipe.Sync()
+				if pipe.Verdict() != seq.Verdict() {
+					t.Fatalf("join@%d: pipelined verdict %v, sequential %v", i, pipe.Verdict(), seq.Verdict())
+				}
+			}
+		}
+		pipe.Sync()
+		comparePipelined(t, fmt.Sprintf("model=%s corrupt=%v", m.Name(), corrupt), seq, pipe)
+	})
+}

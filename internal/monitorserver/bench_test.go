@@ -1,0 +1,55 @@
+package monitorserver_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"repro/internal/monitorclient"
+	"repro/internal/monitorserver"
+	"repro/internal/spec"
+)
+
+// BenchmarkLoopbackIngest measures the whole loopback ingest path — client
+// encode, server decode/convert/stage, one-shard Append, ack round-trip —
+// with one iteration per acked batch. allocs/op is the headline number: the
+// reader path's per-batch garbage (frame, batch, events backing array) is
+// what the reused per-connection decode buffer removed; EXPERIMENTS.md
+// records the before/after. The counter model keeps the monitor's own cost
+// small so the wire path dominates. A fresh object per pass lets the same
+// deterministic batches replay against a fresh monitor, whatever b.N is.
+func BenchmarkLoopbackIngest(b *testing.B) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := monitorserver.Serve(ln, monitorserver.Options{
+		Logf:       func(string, ...any) {},
+		GaugeEvery: -1,
+	})
+	defer srv.Close()
+
+	m, _ := spec.ByName("counter")
+	bs := batches(genQuiescing(m, 42, 4, 4096), 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	sent, obj := 0, 0
+	for sent < b.N {
+		sess, err := monitorclient.Dial(srv.Addr().String(), "bench", fmt.Sprintf("o%d", obj), "counter")
+		if err != nil {
+			b.Fatal(err)
+		}
+		obj++
+		for _, batch := range bs {
+			if err := sess.Send(batch); err != nil {
+				b.Fatal(err)
+			}
+			if sent++; sent >= b.N {
+				break
+			}
+		}
+		if _, err := sess.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -33,7 +33,7 @@ type durableHarness struct {
 	srv *monitorserver.Server
 }
 
-func newDurableHarness(t *testing.T, checkpointEvery int) *durableHarness {
+func newDurableHarness(t *testing.T, checkpointEvery int, mods ...func(*monitorserver.Options)) *durableHarness {
 	t.Helper()
 	mem := ckpt.NewMemFS()
 	ffs := ckpt.NewFaultFS(mem)
@@ -44,6 +44,9 @@ func newDurableHarness(t *testing.T, checkpointEvery int) *durableHarness {
 	h := &durableHarness{t: t, mem: mem, ffs: ffs, opts: monitorserver.Options{
 		Workers: 2, Store: store, CheckpointEvery: checkpointEvery, Logf: t.Logf,
 	}}
+	for _, mod := range mods {
+		mod(&h.opts)
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

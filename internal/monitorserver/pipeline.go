@@ -1,0 +1,123 @@
+package monitorserver
+
+import (
+	"repro/internal/check"
+	"repro/internal/history"
+)
+
+// roundBuf is one absorb round's staged work: the per-shard deltas the pool
+// will apply in a single Shards.Append, and the acks owed once that round
+// commits. Under Options.Pipeline two roundBufs are live at once — one inside
+// the checker's Append, one being staged by the dispatcher — which is the
+// double-buffering the package comment describes.
+type roundBuf struct {
+	deltas []history.History
+	acks   []pendingAck
+}
+
+// reset clears the round for reuse, keeping the backing arrays. The per-shard
+// delta entries are re-padded with nil on the next stage, so event slices are
+// never shared across rounds.
+func (r *roundBuf) reset() {
+	r.deltas = r.deltas[:0]
+	r.acks = r.acks[:0]
+}
+
+// appendPipe hands the check.Shards pool off between the dispatcher and one
+// checker goroutine (DESIGN.md §2i, the service-level twin of core's
+// checkPipe): req transfers ownership of the pool together with a staged
+// round, res transfers it back with a copy of the per-shard verdicts. The
+// 1-deep channels plus the dispatcher-owned inflight pointer guarantee at
+// most one round is ever between the two sends, so every monitor access
+// still happens on exactly one goroutine at a time. All fields are
+// dispatcher-owned except the channels.
+type appendPipe struct {
+	shards *check.Shards
+	req    chan *roundBuf
+	res    chan []check.Verdict
+	dead   chan struct{} // closed when the checker goroutine exits
+
+	inflight *roundBuf // round inside the checker's Append, nil when idle
+	spare    *roundBuf // committed round awaiting reuse (the second buffer)
+	rounds   int       // absorb rounds dispatched through the pipe
+	stalls   int       // forced joins (open, bye) while a round was in flight
+}
+
+// newAppendPipe starts the checker goroutine for shards. The goroutine exits
+// when req is closed (stop).
+func newAppendPipe(shards *check.Shards) *appendPipe {
+	p := &appendPipe{
+		shards: shards,
+		req:    make(chan *roundBuf, 1),
+		res:    make(chan []check.Verdict, 1),
+		dead:   make(chan struct{}),
+	}
+	go func() {
+		defer close(p.dead)
+		var verdicts []check.Verdict
+		for r := range p.req {
+			// Shards.Append returns an alias of its internal verdict slice,
+			// which the next Append overwrites — copy before handing the pool
+			// back. The copy's backing array is safely reused: the dispatcher
+			// finishes committing a round before dispatching the next one.
+			v := shards.Append(r.deltas)
+			verdicts = append(verdicts[:0], v...)
+			p.res <- verdicts
+		}
+	}()
+	return p
+}
+
+// dispatch hands a staged round to the checker. The caller must have joined
+// the previous round first.
+func (p *appendPipe) dispatch(r *roundBuf) {
+	p.rounds++
+	p.inflight = r
+	p.req <- r
+}
+
+// join waits for the in-flight round (if any) and commits it. natural
+// distinguishes the intended hand-off point — the next round's apply, a
+// round finishing while the dispatcher waits for work, or the drain — from a
+// forced join (open, bye), which is the only kind counted as a stall. Safe
+// on a nil pipe (sequential mode).
+func (p *appendPipe) join(s *Server, natural bool) {
+	if p == nil || p.inflight == nil {
+		return
+	}
+	if !natural {
+		p.stalls++
+	}
+	p.commit(s, <-p.res)
+}
+
+// commit applies a finished round's results: applied cursors, due
+// checkpoints, then acks and gauges — the same checkpoint-before-ack order
+// the sequential flush used, now per owning round. The round's buffers
+// become the spare for reuse.
+func (p *appendPipe) commit(s *Server, verdicts []check.Verdict) {
+	r := p.inflight
+	p.inflight = nil
+	s.commitRound(p.shards, r, verdicts)
+	r.reset()
+	p.spare = r
+}
+
+// take returns a free round buffer for the next staging round.
+func (p *appendPipe) take() *roundBuf {
+	if r := p.spare; r != nil {
+		p.spare = nil
+		return r
+	}
+	return &roundBuf{}
+}
+
+// stop terminates the checker goroutine. The caller must have joined any
+// in-flight round first. Safe on a nil pipe.
+func (p *appendPipe) stop() {
+	if p == nil {
+		return
+	}
+	close(p.req)
+	<-p.dead
+}

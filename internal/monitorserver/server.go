@@ -76,6 +76,15 @@ type Options struct {
 	// Smaller bounds the replay a restart asks of clients; larger amortises
 	// the serialisation cost.
 	CheckpointEvery int
+	// Pipeline double-buffers absorb rounds (DESIGN.md §2i): the dispatcher
+	// stages round N+1's per-shard deltas while the pool runs round N's
+	// Append on a checker goroutine, handing the Shards value off over 1-deep
+	// channels so there is still exactly one driver at a time. Acks, gauges
+	// and checkpoints flush only after the owning round commits —
+	// checkpoint-before-ack and ack.Durable semantics are unchanged, and
+	// verdicts/stats stay bit-identical to the sequential dispatcher (modulo
+	// the IncStats PipelineRounds/PipelineStalls counters).
+	Pipeline bool
 }
 
 func (o Options) withDefaults() Options {
@@ -108,9 +117,10 @@ type object struct {
 	name    string
 	model   string
 	cfg     check.Config
-	applied uint64   // highest batch seq applied (flushed)
-	staged  uint64   // batches accepted into the current absorb round
-	sess    *session // active session, nil when detached
+	applied uint64        // highest batch seq applied (committed)
+	staged  uint64        // batches staged into not-yet-committed absorb rounds
+	verdict check.Verdict // shard verdict as of the last committed round (replay acks)
+	sess    *session      // active session, nil when detached
 
 	// Durability bookkeeping (Options.Store; all dispatcher-owned).
 	key       string // store key (tenant + NUL + object)
@@ -278,9 +288,23 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	dec := json.NewDecoder(conn)
 	opened := false
+	// One decode buffer per connection: pre-setting cf.Batch makes the decoder
+	// fill the same EventBatch every frame, reusing the Events backing array
+	// across batches instead of allocating a fresh one per Decode. Safe because
+	// history.FromWire copies everything it keeps out of the wire slice. Two
+	// decoder subtleties the reuse has to compensate for: elements revived from
+	// spare capacity keep their old field values wherever the JSON omits a key
+	// (the wire format omits zero fields), so the backing array is cleared to
+	// full capacity first; and a missing "batch" key no longer leaves cf.Batch
+	// nil, so absent batches are caught by the seq guard below (batches number
+	// from 1).
+	var batch monitorapi.EventBatch
 loop:
 	for {
-		var cf monitorapi.ClientFrame
+		batch.Seq = 0
+		clear(batch.Events[:cap(batch.Events)])
+		batch.Events = batch.Events[:0]
+		cf := monitorapi.ClientFrame{Batch: &batch}
 		if err := dec.Decode(&cf); err != nil {
 			break
 		}
@@ -295,6 +319,14 @@ loop:
 		case monitorapi.FrameEvents:
 			if !opened || cf.Batch == nil {
 				s.abort(sess, monitorapi.FrameError, "events before open")
+				break loop
+			}
+			if cf.Batch.Seq == 0 {
+				// Batches number from 1, so a zero seq means the frame had no
+				// usable batch payload (e.g. an events frame with the batch key
+				// missing, which the reused decode buffer no longer reports as
+				// a nil Batch).
+				s.abort(sess, monitorapi.FrameError, "events frame without a batch (seq numbers from 1)")
 				break loop
 			}
 			if int(sess.unacked.Add(1)) > sess.window {
@@ -355,14 +387,17 @@ type pendingAck struct {
 // dispatch is the dispatcher goroutine: sole owner of the Shards value and
 // of every object's applied/session state. Each round drains the queued
 // ingest (bounded by absorbChunk) into per-shard deltas and applies them
-// with one Shards.Append, so independent objects overlap on the pool.
+// with one Shards.Append, so independent objects overlap on the pool. Under
+// Options.Pipeline the Append runs on the appendPipe's checker goroutine
+// while the dispatcher stages the next round; monitor-touching operations
+// outside the round cycle (open, bye) join the in-flight round first.
 func (s *Server) dispatch() {
 	defer close(s.done)
 	shards := check.NewShards(nil, s.opts.Workers)
 	objects := make(map[string]*object)
 	// Final checkpoints on drain: Close (and therefore SIGTERM in linmond)
 	// closes the ingest channel after the readers stop, so every applied
-	// batch is already flushed when this runs — the graceful path loses
+	// batch is already committed when this runs — the graceful path loses
 	// nothing, and the next instance's hello.Acked equals the last ack sent.
 	defer func() {
 		if s.opts.Store == nil {
@@ -374,29 +409,40 @@ func (s *Server) dispatch() {
 			}
 		}
 	}()
+	var pipe *appendPipe
+	if s.opts.Pipeline {
+		pipe = newAppendPipe(shards)
+		defer pipe.stop() // runs before the checkpoint defer; always joined first
+	}
 
-	var deltas []history.History
-	var acks []pendingAck
-
+	cur := &roundBuf{}
 	msg, ok := <-s.ingest
 	for ok {
-		// One absorb round.
-		deltas = deltas[:0]
-		acks = acks[:0]
+		// One absorb round, staged into cur.
 		batched := 0
 		for {
 			switch msg.op {
 			case opOpen:
+				// Shards.Add/AddMonitor grow the pool and the restore path
+				// reads it; the in-flight round must commit first (and a
+				// reopen's hello.Acked must reflect committed batches).
+				pipe.join(s, false)
 				s.handleOpen(shards, objects, msg)
 			case opBatch:
-				s.stageBatch(shards, msg, &deltas, &acks)
+				s.stageBatch(shards, msg, cur)
 				batched++
 			case opBye:
+				pipe.join(s, false) // Verdict/Stats read the monitors
 				if obj := msg.sess.obj; obj != nil && obj.sess == msg.sess {
 					sh := shards.Shard(obj.shard)
+					st := sh.Stats()
+					if pipe != nil {
+						st.PipelineRounds = pipe.rounds
+						st.PipelineStalls = pipe.stalls
+					}
 					msg.sess.enqueue(monitorapi.ServerFrame{
 						Type: monitorapi.FrameStats, Verdict: sh.Verdict().String(),
-						Stats: &monitorapi.Stats{Check: sh.Stats()},
+						Stats: &monitorapi.Stats{Check: st},
 					}, s)
 				}
 			case opGone:
@@ -413,7 +459,10 @@ func (s *Server) dispatch() {
 			select {
 			case msg, more = <-s.ingest:
 				if !more {
-					s.flush(shards, deltas, acks)
+					pipe.join(s, true)
+					if len(cur.acks) > 0 {
+						s.commitRound(shards, cur, shards.Append(cur.deltas))
+					}
 					return
 				}
 				continue
@@ -421,15 +470,54 @@ func (s *Server) dispatch() {
 			}
 			break
 		}
-		s.flush(shards, deltas, acks)
-		msg, ok = <-s.ingest
+		cur = s.apply(shards, cur, pipe)
+		// Block for the next message — but a pipelined round that finishes
+		// first must commit without waiting for new work: its acks replenish
+		// the very credit windows blocked senders may be waiting on.
+		if pipe != nil && pipe.inflight != nil {
+			select {
+			case verdicts := <-pipe.res:
+				pipe.commit(s, verdicts)
+				msg, ok = <-s.ingest
+			case msg, ok = <-s.ingest:
+			}
+		} else {
+			msg, ok = <-s.ingest
+		}
 	}
+	// Ingest closed between rounds: commit any in-flight work before the
+	// deferred pipe stop and final checkpoints run.
+	pipe.join(s, true)
+}
+
+// apply hands one staged round to the pool. Sequential mode runs the Append
+// synchronously and commits in place. Pipelined mode commits the previous
+// round (the natural hand-off point), dispatches this one to the checker and
+// returns a fresh buffer for the next round — this is the moment assembly of
+// round N+1 starts overlapping the check of round N.
+func (s *Server) apply(shards *check.Shards, cur *roundBuf, pipe *appendPipe) *roundBuf {
+	if pipe == nil {
+		if len(cur.acks) > 0 {
+			s.commitRound(shards, cur, shards.Append(cur.deltas))
+			cur.reset()
+		}
+		return cur
+	}
+	pipe.join(s, true)
+	if len(cur.acks) == 0 {
+		return cur
+	}
+	pipe.dispatch(cur)
+	return pipe.take()
 }
 
 // stageBatch validates one batch's sequencing and stages its events into the
 // round's per-shard delta. Replays (seq already applied) are acked without
 // re-applying — that is what makes client resend-after-reconnect exactly-once.
-func (s *Server) stageBatch(shards *check.Shards, msg ingestMsg, deltas *[]history.History, acks *[]pendingAck) {
+// The replay ack's verdict comes from the object's committed-round cache, not
+// a live monitor read: between rounds the two are identical, and under
+// pipelining the monitor may be inside the in-flight round's Append.
+func (s *Server) stageBatch(shards *check.Shards, msg ingestMsg, cur *roundBuf) {
 	obj := msg.sess.obj
 	if obj == nil || obj.sess != msg.sess {
 		return // session aborted or superseded; drop
@@ -442,24 +530,24 @@ func (s *Server) stageBatch(shards *check.Shards, msg ingestMsg, deltas *[]histo
 			// ack without re-applying.
 			msg.sess.enqueue(monitorapi.ServerFrame{
 				Type: monitorapi.FrameAck, Seq: msg.seq,
-				Verdict: shards.Shard(obj.shard).Verdict().String(),
+				Verdict: obj.verdict.String(),
 				Durable: obj.durable,
 			}, s)
 			return
 		}
 		if msg.seq <= obj.applied+obj.staged {
-			return // duplicate of a staged batch; its ack comes at flush
+			return // duplicate of a staged batch; its ack comes at commit
 		}
 		s.abort(msg.sess, monitorapi.FrameError,
 			fmt.Sprintf("batch gap: got seq %d, want %d", msg.seq, expect))
 		return
 	}
-	for len(*deltas) < shards.Len() {
-		*deltas = append(*deltas, nil)
+	for len(cur.deltas) < shards.Len() {
+		cur.deltas = append(cur.deltas, nil)
 	}
-	(*deltas)[obj.shard] = append((*deltas)[obj.shard], msg.h...)
+	cur.deltas[obj.shard] = append(cur.deltas[obj.shard], msg.h...)
 	obj.staged++
-	*acks = append(*acks, pendingAck{msg.sess, msg.seq})
+	cur.acks = append(cur.acks, pendingAck{msg.sess, msg.seq})
 }
 
 func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, msg ingestMsg) {
@@ -523,11 +611,12 @@ func (s *Server) handleOpen(shards *check.Shards, objects map[string]*object, ms
 // fails, never silently diverges (monitorclient's replay contract).
 func (s *Server) openObject(shards *check.Shards, o *monitorapi.Open, key string, sess *session) (*object, bool) {
 	obj := &object{
-		tenant: o.Tenant,
-		name:   o.Object,
-		model:  o.Model,
-		cfg:    o.Config,
-		key:    key,
+		tenant:  o.Tenant,
+		name:    o.Object,
+		model:   o.Model,
+		cfg:     o.Config,
+		verdict: check.Yes,
+		key:     key,
 	}
 	if s.opts.Store == nil {
 		obj.shard = shards.Add(mustModel(o.Model), check.WithConfig(o.Config))
@@ -570,6 +659,7 @@ func (s *Server) openObject(shards *check.Shards, o *monitorapi.Open, key string
 	obj.shard = shards.AddMonitor(inc)
 	obj.applied = cp.AppliedSeq
 	obj.durable = cp.AppliedSeq
+	obj.verdict = inc.Verdict() // a shard restored mid-refutation stays refuted
 	obj.gen = gen
 	s.opts.Logf("linmond: %s/%s: restored generation %d at seq %d", o.Tenant, o.Object, gen, cp.AppliedSeq)
 	return obj, false
@@ -581,27 +671,30 @@ func mustModel(name string) spec.Model {
 	return m
 }
 
-// flush applies one absorb round's deltas, takes any due periodic
-// checkpoints, and streams the acks. Checkpoints happen before acks so an
-// ack's Durable field reflects this round's checkpoint, not the previous one.
-func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pendingAck) {
-	if len(acks) == 0 {
-		return
-	}
-	verdicts := shards.Append(deltas)
+// commitRound makes one absorb round's results durable and visible, given the
+// verdicts its Shards.Append returned: applied cursors advance, due periodic
+// checkpoints are taken, then acks and gauges stream out. Checkpoints happen
+// before acks so an ack's Durable field reflects this round's checkpoint, not
+// the previous one — the ordering both the sequential and the pipelined
+// dispatcher preserve per owning round. The caller guarantees the pool is
+// idle (sequential mode, or a joined pipelined round).
+func (s *Server) commitRound(shards *check.Shards, r *roundBuf, verdicts []check.Verdict) {
 	var touched []*object
-	for _, a := range acks {
+	for _, a := range r.acks {
 		obj := a.sess.obj
 		if obj == nil {
 			continue
 		}
 		// The monitor consumed the batch either way, so applied advances
 		// even when the session vanished mid-round (its opGone was absorbed
-		// in this round and its out channel is closed) — a reconnect must
-		// not re-apply the batch.
+		// before this commit and its out channel is closed) — a reconnect
+		// must not re-apply the batch. staged decrements per ack rather than
+		// resetting: under pipelining it also counts batches staged into the
+		// round still being assembled.
 		obj.applied = a.seq
-		obj.staged = 0
+		obj.staged--
 		obj.sinceCkpt++
+		obj.verdict = verdicts[obj.shard]
 		if len(touched) == 0 || touched[len(touched)-1] != obj {
 			touched = append(touched, obj)
 		}
@@ -613,7 +706,7 @@ func (s *Server) flush(shards *check.Shards, deltas []history.History, acks []pe
 			}
 		}
 	}
-	for _, a := range acks {
+	for _, a := range r.acks {
 		obj := a.sess.obj
 		if obj == nil || obj.sess != a.sess {
 			continue
