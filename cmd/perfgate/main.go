@@ -84,7 +84,10 @@
 //
 //	perfgate                    # all gates, JSON to BENCH_perf_smoke.json
 //	perfgate -ops 1024 -soakops 20000 -b12ops 20000 -b14ops 20000 -out path.json
-//	perfgate -baseline -out BENCH_PR3.json   # refresh the committed trajectory
+//	perfgate -results benchmarks/results     # timestamped record + regenerated
+//	                                         # index.md (the committed convention)
+//	perfgate -baseline -out benchmarks/results/BENCH_PR3.json
+//	                                         # refresh the committed trajectory
 //	                                         # record (reference host only)
 package main
 
@@ -201,7 +204,7 @@ type result struct {
 // EXPERIMENTS.md) before the interning refactor landed. The speedup column
 // they feed is only emitted under -baseline — comparing another machine's
 // ns/op against this host's baseline would be a meaningless ratio, so CI
-// artifacts omit it; the committed BENCH_PR3.json, generated on the
+// artifacts omit it; the committed benchmarks/results/BENCH_PR3.json, generated on the
 // reference host, carries it.
 var b10PrePRNs = map[string]int64{
 	"queue/64": 57180, "queue/256": 94206, "stack/64": 60376, "stack/256": 95658,
@@ -224,6 +227,7 @@ func run() int {
 	b15MinRatio := flag.Float64("b15minratio", 1.3, "minimum pipeline-on-vs-off speedup for the B15 gate (auto-skip below 2 CPUs)")
 	baseline := flag.Bool("baseline", false, "emit B10 speedup vs the recorded pre-PR baseline (reference host only)")
 	out := flag.String("out", "BENCH_perf_smoke.json", "JSON output path (empty = none)")
+	resultsDir := flag.String("results", "", "also write the JSON as <dir>/<UTC timestamp>.json and regenerate <dir>/index.md (the benchmarks/results/ convention, docs/benchmarks.md)")
 	flag.Parse()
 
 	procs := 4
@@ -565,16 +569,28 @@ func run() int {
 	}
 
 	res.Pass = ok
-	if *out != "" {
+	if *out != "" || *resultsDir != "" {
 		buf, err := json.MarshalIndent(res, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*out, append(buf, '\n'), 0o644)
-		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			fmt.Fprintf(os.Stderr, "marshalling results: %v\n", err)
 			return exitSetup
 		}
-		fmt.Printf("wrote %s\n", *out)
+		buf = append(buf, '\n')
+		if *out != "" {
+			if err := os.WriteFile(*out, buf, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+				return exitSetup
+			}
+			fmt.Printf("wrote %s\n", *out)
+		}
+		if *resultsDir != "" {
+			path, err := writeResults(*resultsDir, buf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "writing results: %v\n", err)
+				return exitSetup
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 	if !ok {
 		return failCode

@@ -32,6 +32,16 @@
 //
 //	stress -crash-every 5 -model queue -procs 4 -ops 500
 //	stress -crash-every 5 -model queue -retain -fault mutate
+//
+// With -replay the soak streams a recorded trace (a history-interchange
+// envelope, e.g. the committed corpus under testdata/traces/) through a
+// linmond server instead of generating load, pacing batches by the trace's
+// recorded timestamps and cross-checking the streamed verdict against a
+// local monitor fed the same batches:
+//
+//	stress -replay testdata/traces/redis-queue.json               # in-process server, full speed
+//	stress -replay testdata/traces/etcd-register.json -speed 1    # as recorded
+//	stress -replay testdata/traces/zk-set.json -addr 127.0.0.1:7474 -speed 10
 package main
 
 import (
@@ -79,6 +89,8 @@ func run() int {
 	addr := flag.String("addr", "127.0.0.1:7474", "net: linmond server address")
 	netbatch := flag.Int("netbatch", 128, "net and crash modes: events per wire batch")
 	crashEvery := flag.Int("crash-every", 0, "kill and restart an in-process durable linmond every N batches, diffing verdicts against an uninterrupted monitor (0 = off)")
+	replay := flag.String("replay", "", "replay a recorded trace (interchange envelope, e.g. testdata/traces/redis-queue.json) through linmond instead of generating load; streams via the bounded-memory reader and cross-checks against a local monitor")
+	speed := flag.Float64("speed", 0, "replay: pace factor over the trace's recorded timestamps (1 = as recorded, 2 = twice as fast, 0 = as fast as the wire accepts)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -107,6 +119,49 @@ func run() int {
 				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 			}
 		}()
+	}
+
+	if *replay != "" {
+		if *netMode || *crashEvery != 0 || *decoupled || *fullrecheck || *fault != "" {
+			fmt.Fprintln(os.Stderr, "-replay streams a recorded trace; it is incompatible with -net, -crash-every, -decoupled, -fullrecheck and -fault")
+			return 2
+		}
+		// -model and -addr keep their defaults for the generator modes; for
+		// replay the trace's envelope supplies the model and the server is
+		// in-process unless the flag was given explicitly.
+		replayModel, replayAddr := "", ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "model":
+				replayModel = *model
+			case "addr":
+				replayAddr = *addr
+			}
+		})
+		if !validReplayModel(replayModel) {
+			fmt.Fprintf(os.Stderr, "unknown model %q\n", replayModel)
+			return 2
+		}
+		cfg := check.Config{NoFastTier: !*fasttier, Pipeline: *pipeline}
+		if *workers > 1 {
+			cfg.Parallelism = *workers
+		}
+		if *retain {
+			cfg.Retain = true
+			cfg.Retention = check.RetentionPolicy{GCBatch: *gcbatch, CommitCuts: *commitcuts}
+		}
+		if err := cfg.Validate(); err != nil {
+			fmt.Fprintf(os.Stderr, "monitor config: %v\n", err)
+			return 2
+		}
+		return runReplay(replayCfg{
+			path: *replay, addr: replayAddr, speed: *speed,
+			batch: *netbatch, model: replayModel, monitor: cfg,
+		})
+	}
+	if *speed != 0 {
+		fmt.Fprintln(os.Stderr, "-speed paces a -replay; it has no effect on generated load")
+		return 2
 	}
 
 	m, ok := spec.ByName(*model)

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/soak"
+	"repro/internal/spec"
+)
+
+// replayCfg carries the -replay flag values.
+type replayCfg struct {
+	path    string
+	addr    string // "" = in-process server
+	speed   float64
+	batch   int
+	model   string
+	monitor check.Config
+}
+
+// runReplay streams a corpus trace (testdata/traces, or any interchange
+// envelope) into a linmond server at the recorded pace — the ingestion
+// counterpart of the generated-history soaks. Exit codes: 0 replay completed
+// and the verdicts agreed (whatever they were), 1 the replay diverged or
+// failed, 2 bad configuration.
+func runReplay(cfg replayCfg) int {
+	res := soak.RunReplay(cfg.path, cfg.model, soak.ReplayConfig{
+		Addr:    cfg.addr,
+		Speed:   cfg.speed,
+		Batch:   cfg.batch,
+		Monitor: cfg.monitor,
+	})
+	if res.Err != "" && res.Model == "" {
+		// Failed before streaming anything: configuration, not divergence.
+		fmt.Fprintf(os.Stderr, "replay: %s\n", res.Err)
+		return 2
+	}
+	pace := "unpaced"
+	if cfg.speed > 0 {
+		pace = fmt.Sprintf("%gx recorded pace", cfg.speed)
+	}
+	fmt.Printf("replay %s model=%s events=%d batches=%d %s\n",
+		res.Trace, res.Model, res.Events, res.Batches, pace)
+	if res.TraceNs > 0 {
+		fmt.Printf("recorded span %v, replayed in %v\n",
+			time.Duration(res.TraceNs).Round(time.Microsecond),
+			time.Duration(res.WallNs).Round(time.Microsecond))
+	} else {
+		fmt.Printf("replayed in %v (trace carries no timestamps)\n",
+			time.Duration(res.WallNs).Round(time.Microsecond))
+	}
+	fmt.Printf("verdict: streamed=%v local=%v\n", res.Streamed, res.Local)
+	if !res.Ok() {
+		fmt.Fprintf(os.Stderr, "replay FAILED: %s\n", res.Err)
+		return 1
+	}
+	return 0
+}
+
+// validReplayModel pre-checks -model for replay so a typo fails before the
+// server spins up.
+func validReplayModel(name string) bool {
+	if name == "" {
+		return true
+	}
+	_, ok := spec.ByName(name)
+	return ok
+}

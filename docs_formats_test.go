@@ -1,0 +1,188 @@
+package repro
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/monitorapi"
+	"repro/internal/spec"
+	"repro/internal/traceconv"
+)
+
+// doctestFences extracts the fenced code blocks of a markdown file tagged
+// `doctest:<name>` in their info string, keyed by name. The fences in
+// docs/formats.md are executable examples: TestDocsFormats below decodes,
+// checks and converts them, so the spec's examples cannot drift from the
+// code.
+func doctestFences(t *testing.T, path string) map[string]string {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	fences := make(map[string]string)
+	var (
+		name string
+		body strings.Builder
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	inFence := false
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "```") {
+			if inFence {
+				if name != "" {
+					if _, dup := fences[name]; dup {
+						t.Fatalf("%s: duplicate doctest fence %q", path, name)
+					}
+					fences[name] = body.String()
+				}
+				inFence, name = false, ""
+				body.Reset()
+				continue
+			}
+			inFence = true
+			for _, field := range strings.Fields(line[3:]) {
+				if tag, ok := strings.CutPrefix(field, "doctest:"); ok {
+					name = tag
+				}
+			}
+			continue
+		}
+		if inFence && name != "" {
+			body.WriteString(line)
+			body.WriteByte('\n')
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if inFence {
+		t.Fatalf("%s: unterminated code fence", path)
+	}
+	return fences
+}
+
+// decodeBoth runs a doctested envelope through both interchange decoders and
+// requires them to agree — the same equivalence the fuzzer enforces, applied
+// to the documentation's own examples.
+func decodeBoth(t *testing.T, doc string) (history.History, string) {
+	t.Helper()
+	wholeH, wholeModel, err := monitorapi.DecodeHistory([]byte(doc))
+	if err != nil {
+		t.Fatalf("whole-file decode: %v", err)
+	}
+	hr, err := monitorapi.NewHistoryReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("streaming decode: %v", err)
+	}
+	streamH, err := hr.ReadAll()
+	if err != nil {
+		t.Fatalf("streaming decode: %v", err)
+	}
+	if len(wholeH) != len(streamH) || (len(wholeH) > 0 && !reflect.DeepEqual(wholeH, streamH)) {
+		t.Fatalf("decoders disagree on a documented example (%d vs %d events)", len(wholeH), len(streamH))
+	}
+	if hr.Model() != wholeModel {
+		t.Fatalf("decoders disagree on model: %q vs %q", wholeModel, hr.Model())
+	}
+	return wholeH, wholeModel
+}
+
+// TestDocsFormats executes every doctest fence in docs/formats.md.
+func TestDocsFormats(t *testing.T) {
+	fences := doctestFences(t, "docs/formats.md")
+	want := []string{"queue-yes", "register-no", "jepsen-in", "jepsen-out", "clientlog-in", "clientlog-out"}
+	for _, name := range want {
+		if _, ok := fences[name]; !ok {
+			t.Fatalf("docs/formats.md lacks doctest fence %q (have: %v)", name, keys(fences))
+		}
+	}
+
+	// The two standalone envelopes decode and produce the verdict the prose
+	// states.
+	for _, tc := range []struct {
+		fence, model string
+		ok           bool
+	}{
+		{"queue-yes", "queue", true},
+		{"register-no", "register", false},
+	} {
+		t.Run(tc.fence, func(t *testing.T) {
+			h, model := decodeBoth(t, fences[tc.fence])
+			if model != tc.model {
+				t.Fatalf("model = %q, want %q", model, tc.model)
+			}
+			m, ok := spec.ByName(model)
+			if !ok {
+				t.Fatalf("model %q not registered", model)
+			}
+			if res := check.Linearizable(m, h); res.Ok != tc.ok {
+				t.Fatalf("Linearizable = %v, want %v (the prose states the verdict)", res.Ok, tc.ok)
+			}
+		})
+	}
+
+	// Each adapter input converts to exactly the envelope documented next to
+	// it — including ids and "at" timestamps.
+	for _, tc := range []struct {
+		in, out string
+		convert func(r *strings.Reader) (traceconv.Converted, error)
+	}{
+		{"jepsen-in", "jepsen-out", func(r *strings.Reader) (traceconv.Converted, error) {
+			return traceconv.FromJepsen(r, "queue")
+		}},
+		{"clientlog-in", "clientlog-out", func(r *strings.Reader) (traceconv.Converted, error) {
+			return traceconv.FromClientLog(r, "queue")
+		}},
+	} {
+		t.Run(tc.out, func(t *testing.T) {
+			conv, err := tc.convert(strings.NewReader(fences[tc.in]))
+			if err != nil {
+				t.Fatalf("converting the documented input: %v", err)
+			}
+			var env monitorapi.HistoryEnvelope
+			if err := json.Unmarshal([]byte(fences[tc.out]), &env); err != nil {
+				t.Fatalf("parsing the documented output: %v", err)
+			}
+			if env.Version != monitorapi.HistoryFormatVersion || env.Model != conv.Model {
+				t.Fatalf("documented envelope header {v%d %q} != converter output {v%d %q}",
+					env.Version, env.Model, monitorapi.HistoryFormatVersion, conv.Model)
+			}
+			if !reflect.DeepEqual(env.Events, conv.Events) {
+				t.Fatalf("documented conversion is stale:\ndocumented: %s\nconverter:  %s",
+					mustJSON(env.Events), mustJSON(conv.Events))
+			}
+			// And the documented output is itself a valid interchange document
+			// through both decoders.
+			decodeBoth(t, fences[tc.out])
+		})
+	}
+}
+
+func keys(m map[string]string) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func mustJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Sprintf("<%v>", err)
+	}
+	return string(bytes.TrimSpace(b))
+}

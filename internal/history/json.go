@@ -20,6 +20,12 @@ type WireEvent struct {
 	Op   string `json:"op"`            // method name, e.g. "Enq"
 	Arg  int64  `json:"arg,omitempty"` // operation argument
 	Res  string `json:"res,omitempty"` // "ok", "empty", "true", "false" or an integer
+	// At is the event's recording timestamp in nanoseconds since an arbitrary
+	// per-trace origin, 0 when the recorder had none. It is advisory — the
+	// event ORDER in the stream is the real-time order the monitor trusts —
+	// and exists for replay-at-speed (cmd/stress -replay) and provenance.
+	// Additive field: its introduction did not bump the format version.
+	At int64 `json:"at,omitempty"`
 }
 
 // ToWire converts h to its wire form. Both events of an operation carry the
@@ -63,7 +69,7 @@ func FromWire(in []WireEvent) (History, error) {
 			if known, ok := ops[je.ID]; ok {
 				op = known
 			}
-			res, err := parseResponse(je.Res)
+			res, err := ParseResponse(je.Res)
 			if err != nil {
 				return nil, fmt.Errorf("event %d: %w", i, err)
 			}
@@ -102,7 +108,10 @@ func DecodeJSON(data []byte) (History, error) {
 	return h, nil
 }
 
-func parseResponse(s string) (spec.Response, error) {
+// ParseResponse parses the wire form of a Response: "ok", "empty", "true",
+// "false" or a decimal value. It is the single response grammar of the
+// interchange and session formats (docs/formats.md).
+func ParseResponse(s string) (spec.Response, error) {
 	switch s {
 	case "ok":
 		return spec.OKResp(), nil

@@ -75,11 +75,12 @@ func DecodeHistory(data []byte) (history.History, string, error) {
 		return nil, "", fmt.Errorf("parsing history envelope: %w", err)
 	}
 	if env.Version < 1 {
-		return nil, "", fmt.Errorf("history envelope lacks a version (got %d)", env.Version)
+		return nil, "", fmt.Errorf("%w: history envelope lacks a version (got %d); supported: 0 (legacy bare array) to %d — see docs/formats.md",
+			ErrUnsupportedVersion, env.Version, HistoryFormatVersion)
 	}
 	if env.Version > HistoryFormatVersion {
-		return nil, "", fmt.Errorf("history format version %d is newer than the supported %d",
-			env.Version, HistoryFormatVersion)
+		return nil, "", fmt.Errorf("%w: history format version %d is newer than the supported %d; supported: 0 (legacy bare array) to %d — see docs/formats.md",
+			ErrUnsupportedVersion, env.Version, HistoryFormatVersion, HistoryFormatVersion)
 	}
 	h, err := history.FromWire(env.Events)
 	if err != nil {

@@ -1,0 +1,329 @@
+package monitorapi
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Sentinel errors of the interchange decoders, for tools that want to turn a
+// decode failure into actionable guidance (cmd/linverify points users at
+// docs/formats.md for both).
+var (
+	// ErrUnsupportedVersion marks an envelope whose version is newer than
+	// this build supports, or absent where one is required.
+	ErrUnsupportedVersion = errors.New("unsupported history format version")
+	// ErrHeaderOrder marks an envelope the streaming reader rejects because
+	// a header field ("version", "model") follows the "events" array — legal
+	// JSON, but docs/formats.md requires writers to emit the header first so
+	// a streaming reader can validate the version before it interprets a
+	// single event. The whole-file decoder tolerates such files.
+	ErrHeaderOrder = errors.New("envelope header field after \"events\"")
+)
+
+// HistoryReader decodes a history-interchange document — the versioned
+// envelope or the legacy bare event array — one event at a time, without ever
+// materialising the event array. Its live state is the JSON decoder's fixed
+// buffer plus the §2 well-formedness trackers: the per-process open
+// operation (O(concurrent processes)) and the seen-ID set for duplicate
+// detection (8 bytes per operation, the same floor the incremental monitor's
+// admitter keeps). A 100 MB trace streams through it in O(window) event
+// memory; see docs/formats.md "Streaming".
+//
+// Next applies exactly the validation DecodeHistory applies, incrementally:
+// a document either yields the identical event sequence through both
+// decoders or fails through both (TestStreamWholeFileEquivalence and
+// FuzzStreamDecode in this package enforce the equivalence; the one
+// documented exception is ErrHeaderOrder, where the streaming reader is
+// strictly the more demanding of the two).
+type HistoryReader struct {
+	dec     *json.Decoder
+	version int
+	model   string
+	legacy  bool // bare-array v0 form
+
+	sawVersion bool
+	inEvents   bool // positioned inside the events array
+	doneEvents bool // events array fully consumed
+	closed     bool // document fully consumed and validated
+	n          int
+
+	// §2 well-formedness trackers, mirroring history.Validate.
+	pendingOp map[int]uint64            // proc (0-based) -> open op id
+	openOps   map[uint64]spec.Operation // open op id -> operation, for "ret" inheritance
+	seenIDs   map[uint64]struct{}
+}
+
+// NewHistoryReader parses the document header up to (but not into) the event
+// stream: the legacy form's leading '[', or the envelope's fields preceding
+// "events" — at which point the version has been validated against
+// HistoryFormatVersion, exactly like DecodeHistory.
+func NewHistoryReader(r io.Reader) (*HistoryReader, error) {
+	hr := &HistoryReader{
+		dec:       json.NewDecoder(r),
+		pendingOp: make(map[int]uint64),
+		openOps:   make(map[uint64]spec.Operation),
+		seenIDs:   make(map[uint64]struct{}),
+	}
+	tok, err := hr.dec.Token()
+	if err != nil {
+		return nil, fmt.Errorf("parsing history: %w", err)
+	}
+	switch d, _ := tok.(json.Delim); d {
+	case '[':
+		hr.legacy = true
+		hr.inEvents = true
+		return hr, nil
+	case '{':
+		if err := hr.header(); err != nil {
+			return nil, err
+		}
+		return hr, nil
+	default:
+		return nil, fmt.Errorf("parsing history: document is neither an envelope object nor a legacy event array (got %v)", tok)
+	}
+}
+
+// Version returns the document's format version: 0 for the legacy bare-array
+// form, the envelope's declared version otherwise.
+func (hr *HistoryReader) Version() int { return hr.version }
+
+// Model returns the envelope's advisory model name ("" for the legacy form).
+func (hr *HistoryReader) Model() string { return hr.model }
+
+// Events returns the number of events decoded so far.
+func (hr *HistoryReader) Events() int { return hr.n }
+
+// header consumes envelope fields until it enters the events array or the
+// object ends. Unknown fields are skipped (additive evolution); "version" is
+// validated before the first event is interpreted.
+func (hr *HistoryReader) header() error {
+	for hr.dec.More() {
+		keyTok, err := hr.dec.Token()
+		if err != nil {
+			return fmt.Errorf("parsing history envelope: %w", err)
+		}
+		key, _ := keyTok.(string)
+		if hr.doneEvents && (key == "version" || key == "model" || key == "events") {
+			return fmt.Errorf("%w: %q must precede the events array — see docs/formats.md", ErrHeaderOrder, key)
+		}
+		switch key {
+		case "version":
+			if err := hr.dec.Decode(&hr.version); err != nil {
+				return fmt.Errorf("parsing history envelope: version: %w", err)
+			}
+			hr.sawVersion = true
+		case "model":
+			if err := hr.dec.Decode(&hr.model); err != nil {
+				return fmt.Errorf("parsing history envelope: model: %w", err)
+			}
+		case "events":
+			if err := hr.checkVersion(); err != nil {
+				return err
+			}
+			tok, err := hr.dec.Token()
+			if err != nil {
+				return fmt.Errorf("parsing history envelope: events: %w", err)
+			}
+			if tok == nil { // "events": null — same empty history as an absent field
+				hr.doneEvents = true
+				continue
+			}
+			if d, _ := tok.(json.Delim); d != '[' {
+				return fmt.Errorf("parsing history envelope: events is not an array (got %v)", tok)
+			}
+			hr.inEvents = true
+			return nil
+		default:
+			var skip json.RawMessage
+			if err := hr.dec.Decode(&skip); err != nil {
+				return fmt.Errorf("parsing history envelope: field %q: %w", key, err)
+			}
+		}
+	}
+	// Envelope without an events array: still validate the version, then
+	// consume the closing brace and validate the trailing bytes.
+	if !hr.doneEvents {
+		if err := hr.checkVersion(); err != nil {
+			return err
+		}
+		hr.doneEvents = true
+	}
+	if _, err := hr.dec.Token(); err != nil { // closing '}'
+		return fmt.Errorf("parsing history envelope: %w", err)
+	}
+	return hr.finish()
+}
+
+// checkVersion enforces the DecodeHistory version rules at the moment the
+// first event could be interpreted.
+func (hr *HistoryReader) checkVersion() error {
+	if hr.doneEvents || hr.inEvents {
+		return fmt.Errorf("%w: duplicate \"events\" array", ErrHeaderOrder)
+	}
+	if !hr.sawVersion || hr.version < 1 {
+		// At this point the version is either absent from the document (the
+		// whole-file decoder rejects it too) or declared after the events
+		// array (which only the whole-file decoder tolerates) — the reader
+		// cannot tell which without buffering, so the error carries both
+		// sentinels.
+		return fmt.Errorf("%w: history envelope lacks a version before its events (got %d); supported: 0 (legacy bare array) to %d — a version after the events array is a header-order violation (%w); see docs/formats.md",
+			ErrUnsupportedVersion, hr.version, HistoryFormatVersion, ErrHeaderOrder)
+	}
+	if hr.version > HistoryFormatVersion {
+		return fmt.Errorf("%w: history format version %d is newer than the supported %d; supported: 0 (legacy bare array) to %d — see docs/formats.md",
+			ErrUnsupportedVersion, hr.version, HistoryFormatVersion, HistoryFormatVersion)
+	}
+	return nil
+}
+
+// Next returns the next event and its advisory recording timestamp
+// (WireEvent.At; 0 when the recorder had none). It returns io.EOF after the
+// final event, once the document's tail has been fully validated — trailing
+// garbage after the JSON value is an error, as it is for the whole-file
+// decoder.
+func (hr *HistoryReader) Next() (history.Event, int64, error) {
+	if hr.closed {
+		return history.Event{}, 0, io.EOF
+	}
+	for !hr.inEvents {
+		if hr.doneEvents {
+			// Envelope tail after the events array: only header fields that
+			// must not appear there, and unknown (ignored) fields, remain.
+			if err := hr.tail(); err != nil {
+				return history.Event{}, 0, err
+			}
+			return history.Event{}, 0, io.EOF
+		}
+		return history.Event{}, 0, fmt.Errorf("history reader used after a decode error")
+	}
+	if !hr.dec.More() {
+		if _, err := hr.dec.Token(); err != nil { // closing ']'
+			return history.Event{}, 0, fmt.Errorf("parsing history: %w", err)
+		}
+		hr.inEvents = false
+		hr.doneEvents = true
+		if hr.legacy {
+			if err := hr.finish(); err != nil {
+				return history.Event{}, 0, err
+			}
+			return history.Event{}, 0, io.EOF
+		}
+		return hr.Next()
+	}
+	var je history.WireEvent
+	if err := hr.dec.Decode(&je); err != nil {
+		hr.inEvents = false
+		return history.Event{}, 0, fmt.Errorf("parsing history: event %d: %w", hr.n, err)
+	}
+	e, err := hr.admit(je)
+	if err != nil {
+		hr.inEvents = false
+		return history.Event{}, 0, err
+	}
+	hr.n++
+	return e, je.At, nil
+}
+
+// admit converts one wire event and applies the §2 well-formedness checks of
+// history.Validate incrementally: per-process sequentiality, matched
+// responses, unique operation ids. A "ret" inherits the operation of its
+// process's open invocation, as in history.FromWire.
+func (hr *HistoryReader) admit(je history.WireEvent) (history.Event, error) {
+	i := hr.n
+	op := spec.Operation{Method: je.Op, Arg: je.Arg, Uniq: je.ID}
+	switch je.Kind {
+	case "inv":
+		if open, busy := hr.pendingOp[je.Proc-1]; busy {
+			return history.Event{}, fmt.Errorf("event %d: process %d invokes op %d while op %d is pending", i, je.Proc-1, je.ID, open)
+		}
+		if _, dup := hr.seenIDs[je.ID]; dup {
+			return history.Event{}, fmt.Errorf("event %d: duplicate operation id %d", i, je.ID)
+		}
+		hr.seenIDs[je.ID] = struct{}{}
+		hr.pendingOp[je.Proc-1] = je.ID
+		hr.openOps[je.ID] = op
+		return history.Event{Kind: history.Invoke, Proc: je.Proc - 1, ID: je.ID, Op: op}, nil
+	case "ret":
+		open, busy := hr.pendingOp[je.Proc-1]
+		if !busy {
+			return history.Event{}, fmt.Errorf("event %d: process %d responds to op %d with no pending invocation", i, je.Proc-1, je.ID)
+		}
+		if open != je.ID {
+			return history.Event{}, fmt.Errorf("event %d: process %d responds to op %d but op %d is pending", i, je.Proc-1, je.ID, open)
+		}
+		if known, ok := hr.openOps[je.ID]; ok {
+			op = known
+		}
+		res, err := history.ParseResponse(je.Res)
+		if err != nil {
+			return history.Event{}, fmt.Errorf("event %d: %w", i, err)
+		}
+		delete(hr.pendingOp, je.Proc-1)
+		delete(hr.openOps, je.ID)
+		return history.Event{Kind: history.Return, Proc: je.Proc - 1, ID: je.ID, Op: op, Res: res}, nil
+	default:
+		return history.Event{}, fmt.Errorf("event %d: kind must be \"inv\" or \"ret\", got %q", i, je.Kind)
+	}
+}
+
+// tail consumes the envelope fields after the events array and the closing
+// brace. The header fields must not reappear here (ErrHeaderOrder): a
+// streaming reader has already interpreted every event, so a late "version"
+// could retroactively invalidate them — docs/formats.md forbids writing one.
+func (hr *HistoryReader) tail() error {
+	for hr.dec.More() {
+		keyTok, err := hr.dec.Token()
+		if err != nil {
+			return fmt.Errorf("parsing history envelope: %w", err)
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "version", "model", "events":
+			return fmt.Errorf("%w: %q must precede the events array — see docs/formats.md", ErrHeaderOrder, key)
+		default:
+			var skip json.RawMessage
+			if err := hr.dec.Decode(&skip); err != nil {
+				return fmt.Errorf("parsing history envelope: field %q: %w", key, err)
+			}
+		}
+	}
+	if _, err := hr.dec.Token(); err != nil { // closing '}'
+		return fmt.Errorf("parsing history envelope: %w", err)
+	}
+	return hr.finish()
+}
+
+// finish validates that nothing but whitespace follows the document, matching
+// json.Unmarshal's whole-value semantics, and closes the reader.
+func (hr *HistoryReader) finish() error {
+	if _, err := hr.dec.Token(); err != io.EOF {
+		if err == nil {
+			err = fmt.Errorf("trailing data after the history document")
+		}
+		return fmt.Errorf("parsing history: %w", err)
+	}
+	hr.closed = true
+	return nil
+}
+
+// ReadAll drains the reader into a complete History — the streaming
+// counterpart of DecodeHistory, used by the differential tests and by
+// consumers that want streaming validation but a whole history.
+func (hr *HistoryReader) ReadAll() (history.History, error) {
+	var h history.History
+	for {
+		e, _, err := hr.Next()
+		if err == io.EOF {
+			return h, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		h = append(h, e)
+	}
+}

@@ -1,0 +1,362 @@
+package monitorapi
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// interchangeFiles returns every committed interchange document in the repo:
+// the real-trace corpus, the linverify fixtures, and the checked-in bench
+// seed. The differential tests run over all of them so a format change that
+// breaks only one decoder is caught against real committed bytes, not just
+// synthetic ones.
+func interchangeFiles(t *testing.T) []string {
+	t.Helper()
+	var files []string
+	for _, pattern := range []string{
+		"../../testdata/traces/*.json",
+		"../../cmd/linverify/testdata/*.json",
+		"../../internal/check/testdata/b11_queue_seed2.json",
+	} {
+		matches, err := filepath.Glob(pattern)
+		if err != nil {
+			t.Fatalf("glob %s: %v", pattern, err)
+		}
+		files = append(files, matches...)
+	}
+	if len(files) < 5 {
+		t.Fatalf("expected at least 5 committed interchange documents, found %d: %v", len(files), files)
+	}
+	return files
+}
+
+// sameHistory compares event sequences, treating nil and empty as the same
+// (the whole-file decoder returns an empty slice for an empty events array,
+// the streaming reader returns nil).
+func sameHistory(a, b history.History) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return len(a) == 0 || reflect.DeepEqual(a, b)
+}
+
+// TestStreamWholeFileEquivalence is the normative differential check from the
+// HistoryReader doc comment: over every committed interchange document, the
+// streaming reader and the whole-file decoder either both fail or both yield
+// the identical event sequence and model.
+func TestStreamWholeFileEquivalence(t *testing.T) {
+	for _, path := range interchangeFiles(t) {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wholeH, wholeModel, wholeErr := DecodeHistory(data)
+
+			var streamH history.History
+			var streamModel string
+			hr, streamErr := NewHistoryReader(bytes.NewReader(data))
+			if streamErr == nil {
+				streamH, streamErr = hr.ReadAll()
+				streamModel = hr.Model()
+			}
+
+			if (wholeErr == nil) != (streamErr == nil) {
+				t.Fatalf("decoder disagreement: whole-file err=%v, streaming err=%v", wholeErr, streamErr)
+			}
+			if wholeErr != nil {
+				return
+			}
+			if !sameHistory(wholeH, streamH) {
+				t.Fatalf("decoders yielded different histories (%d vs %d events)", len(wholeH), len(streamH))
+			}
+			if wholeModel != streamModel {
+				t.Fatalf("decoders yielded different models: %q vs %q", wholeModel, streamModel)
+			}
+		})
+	}
+}
+
+// TestCorpusVerdicts pins the checker verdict of every corpus envelope, as
+// promised by testdata/traces/README.md: the etcd trace carries a genuine
+// stale read, the other two are linearizable. Each history is decoded through
+// the streaming reader and checked against the envelope's own model.
+func TestCorpusVerdicts(t *testing.T) {
+	cases := []struct {
+		file  string
+		model string
+		ok    bool
+	}{
+		{"etcd-register.json", "register", false},
+		{"redis-queue.json", "queue", true},
+		{"zk-set.json", "set", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			f, err := os.Open(filepath.Join("../../testdata/traces", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			hr, err := NewHistoryReader(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hr.Model() != tc.model {
+				t.Fatalf("envelope model = %q, want %q", hr.Model(), tc.model)
+			}
+			h, err := hr.ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, ok := spec.ByName(tc.model)
+			if !ok {
+				t.Fatalf("model %q not registered", tc.model)
+			}
+			if res := check.Linearizable(m, h); res.Ok != tc.ok {
+				t.Fatalf("check.Linearizable(%s, %s).Ok = %v, want %v", tc.model, tc.file, res.Ok, tc.ok)
+			}
+		})
+	}
+}
+
+// TestStreamErrors exercises the failure paths the format spec
+// (docs/formats.md) calls out: truncation, trailing garbage, unsupported
+// versions, and the streaming-only header-order rule.
+func TestStreamErrors(t *testing.T) {
+	valid := `{"version":1,"model":"queue","events":[` +
+		`{"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5},` +
+		`{"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"}]}`
+
+	streamAll := func(doc string) error {
+		hr, err := NewHistoryReader(strings.NewReader(doc))
+		if err != nil {
+			return err
+		}
+		_, err = hr.ReadAll()
+		return err
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 1; cut < len(valid); cut++ {
+			if err := streamAll(valid[:cut]); err == nil {
+				t.Fatalf("accepted document truncated at byte %d", cut)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		for _, tail := range []string{"x", "{}", "[]", `{"version":1}`} {
+			if err := streamAll(valid + tail); err == nil {
+				t.Fatalf("accepted trailing %q", tail)
+			}
+		}
+	})
+	t.Run("newer version", func(t *testing.T) {
+		err := streamAll(`{"version":99,"events":[]}`)
+		if !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("want ErrUnsupportedVersion, got %v", err)
+		}
+		// The whole-file decoder classifies it identically.
+		if _, _, werr := DecodeHistory([]byte(`{"version":99,"events":[]}`)); !errors.Is(werr, ErrUnsupportedVersion) {
+			t.Fatalf("whole-file decoder: want ErrUnsupportedVersion, got %v", werr)
+		}
+	})
+	t.Run("missing version", func(t *testing.T) {
+		if err := streamAll(`{"model":"queue","events":[]}`); !errors.Is(err, ErrUnsupportedVersion) {
+			t.Fatalf("want ErrUnsupportedVersion, got %v", err)
+		}
+	})
+	t.Run("header after events", func(t *testing.T) {
+		// Legal JSON the whole-file decoder accepts; the streaming reader
+		// rejects it with the dedicated sentinel, per the format spec.
+		doc := `{"events":[],"version":1,"model":"queue"}`
+		if _, _, err := DecodeHistory([]byte(doc)); err != nil {
+			t.Fatalf("whole-file decoder rejected header-after-events doc: %v", err)
+		}
+		if err := streamAll(doc); !errors.Is(err, ErrHeaderOrder) {
+			t.Fatalf("want ErrHeaderOrder, got %v", err)
+		}
+	})
+	t.Run("ill-formed history", func(t *testing.T) {
+		// Response without a pending invocation — caught incrementally.
+		doc := `{"version":1,"events":[{"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"}]}`
+		if err := streamAll(doc); err == nil || !strings.Contains(err.Error(), "no pending invocation") {
+			t.Fatalf("want well-formedness error, got %v", err)
+		}
+	})
+	t.Run("not a document", func(t *testing.T) {
+		for _, doc := range []string{"", "null", "7", `"x"`, "true"} {
+			if err := streamAll(doc); err == nil {
+				t.Fatalf("accepted %q", doc)
+			}
+		}
+	})
+}
+
+// TestStreamTimestamps checks that Next surfaces the advisory "at" field,
+// which the whole-file decoder (returning a bare History) drops.
+func TestStreamTimestamps(t *testing.T) {
+	doc := `{"version":1,"events":[` +
+		`{"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5,"at":1000},` +
+		`{"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok","at":2500}]}`
+	hr, err := NewHistoryReader(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{1000, 2500}
+	for i, w := range want {
+		_, at, err := hr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at != w {
+			t.Fatalf("event %d: at = %d, want %d", i, at, w)
+		}
+	}
+	if _, _, err := hr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF after final event, got %v", err)
+	}
+}
+
+// FuzzStreamDecode fuzzes the decoder equivalence: any byte string either
+// fails through both decoders or yields the identical history and model. The
+// single permitted asymmetry is ErrHeaderOrder, where the streaming reader is
+// documented to be strictly more demanding than the whole-file decoder.
+func FuzzStreamDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1,"model":"queue","events":[{"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5},{"kind":"ret","proc":1,"id":1,"op":"Enq","res":"ok"}]}`))
+	f.Add([]byte(`[{"kind":"inv","proc":1,"id":1,"op":"Enq","arg":5}]`))
+	f.Add([]byte(`{"version":1,"events":null}`))
+	f.Add([]byte(`{"events":[],"version":1}`))
+	f.Add([]byte(`{"version":2,"events":[]}`))
+	f.Add([]byte(`{"version":1,"extra":{"a":[1,2]},"events":[],"note":"x"}`))
+	for _, p := range []string{
+		"../../testdata/traces/zk-set.json",
+		"../../cmd/linverify/testdata/queue-ok-v1.json",
+	} {
+		if data, err := os.ReadFile(p); err == nil {
+			f.Add(data)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		wholeH, wholeModel, wholeErr := DecodeHistory(data)
+
+		var streamH history.History
+		var streamModel string
+		hr, streamErr := NewHistoryReader(bytes.NewReader(data))
+		if streamErr == nil {
+			streamH, streamErr = hr.ReadAll()
+			streamModel = hr.Model()
+		}
+
+		if wholeErr == nil && streamErr != nil {
+			if errors.Is(streamErr, ErrHeaderOrder) {
+				return // documented asymmetry
+			}
+			t.Fatalf("streaming rejected what whole-file accepted: %v\ninput: %q", streamErr, data)
+		}
+		if wholeErr != nil && streamErr == nil {
+			t.Fatalf("streaming accepted what whole-file rejected (%v)\ninput: %q", wholeErr, data)
+		}
+		if wholeErr != nil {
+			return
+		}
+		if !sameHistory(wholeH, streamH) {
+			t.Fatalf("decoders disagree: %d vs %d events\ninput: %q", len(wholeH), len(streamH), data)
+		}
+		if wholeModel != streamModel {
+			t.Fatalf("decoders disagree on model: %q vs %q\ninput: %q", wholeModel, streamModel, data)
+		}
+	})
+}
+
+// TestStreamBoundedMemory is the O(window) claim from the HistoryReader doc
+// comment, measured: streaming a multi-megabyte trace must keep the live heap
+// well under the file size (the whole-file decoder's floor). The per-event
+// residue is the seen-ID set — 8 bytes per operation — so the bound is
+// generous but a regression to buffering the array blows straight through it.
+func TestStreamBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-MB trace generation")
+	}
+	path := filepath.Join(t.TempDir(), "big.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(f)
+	const ops = 50000
+	pad := strings.Repeat("x", 120) // inflate bytes-per-event, not heap-per-event
+	fmt.Fprintf(w, `{"version":1,"model":"queue","events":[`)
+	for i := 0; i < ops; i++ {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `{"kind":"inv","proc":1,"id":%d,"op":"Enq","arg":%d,"note":%q},`, i+1, i, pad)
+		fmt.Fprintf(w, `{"kind":"ret","proc":1,"id":%d,"op":"Enq","res":"ok"}`, i+1)
+	}
+	w.WriteString("]}")
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := fi.Size()
+
+	rf, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rf.Close()
+	hr, err := NewHistoryReader(bufio.NewReader(rf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak uint64
+	n := 0
+	for {
+		_, _, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n%20000 == 0 {
+			runtime.GC()
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			if m.HeapAlloc > peak {
+				peak = m.HeapAlloc
+			}
+		}
+	}
+	if n != 2*ops {
+		t.Fatalf("streamed %d events, want %d", n, 2*ops)
+	}
+	live := int64(peak) - int64(base.HeapAlloc)
+	if live > size/3 {
+		t.Fatalf("live heap grew by %d bytes while streaming a %d-byte trace; want < size/3 = %d", live, size, size/3)
+	}
+}

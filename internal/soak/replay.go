@@ -1,0 +1,209 @@
+package soak
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/history"
+	"repro/internal/monitorapi"
+	"repro/internal/monitorclient"
+	"repro/internal/monitorserver"
+	"repro/internal/spec"
+)
+
+// ReplayConfig drives RunReplay.
+type ReplayConfig struct {
+	// Addr is the linmond server to replay into; "" starts an in-process
+	// server on a loopback listener for the duration of the replay.
+	Addr string
+	// Speed scales the recorded pace from the trace's per-event "at"
+	// timestamps: 1 replays in recorded time, 2 twice as fast, and <= 0
+	// replays as fast as the connection accepts (no pacing). Traces without
+	// timestamps always replay unpaced.
+	Speed float64
+	// Batch is the number of events per wire batch (default 64).
+	Batch int
+	// Tenant and Object name the monitored stream ("replay"/trace path when
+	// empty).
+	Tenant, Object string
+	// Monitor is the monitor configuration carried in the open frame and
+	// mirrored by the local cross-check monitor.
+	Monitor check.Config
+}
+
+// ReplayResult reports one trace replay: the streamed verdict, the local
+// cross-check verdict, and the pacing actually achieved.
+type ReplayResult struct {
+	Trace    string        // file replayed
+	Model    string        // model verified against (envelope's, see RunReplay)
+	Events   int           // events streamed
+	Batches  int           // wire batches sent
+	Streamed check.Verdict // verdict from the linmond session
+	Local    check.Verdict // verdict from the in-process cross-check monitor
+	Match    bool          // Streamed == Local and the server applied every event
+	TraceNs  int64         // recorded span of the trace (last at - first at; 0 if untimed)
+	WallNs   int64         // wall-clock span of the replay
+	Err      string        // first failure; "" if none
+}
+
+// Ok reports whether the replay completed and the streamed verdict agreed
+// with the local monitor's.
+func (r ReplayResult) Ok() bool { return r.Err == "" && r.Match }
+
+// RunReplay streams a corpus trace (a v1 interchange envelope, decoded
+// through the streaming reader — the file is never materialised) into a
+// linmond server at the recorded pace, cross-checking the streamed verdict
+// against an in-process monitor fed the same batches.
+//
+// The model is the envelope's; model overrides it when non-empty (and is
+// required for envelopes that omit one). Pacing follows each batch's first
+// event: the batch is sent no earlier than (at - origin)/Speed into the
+// replay. Replay deliberately does NOT stop at a No verdict — a monitor
+// under replay keeps absorbing the remainder of the stream, which is
+// exactly what a live deployment does after a violation.
+func RunReplay(path, model string, cfg ReplayConfig) ReplayResult {
+	res := ReplayResult{Trace: path}
+	fail := func(err error) ReplayResult {
+		res.Err = err.Error()
+		return res
+	}
+	if cfg.Batch < 1 {
+		cfg.Batch = 64
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	hr, err := monitorapi.NewHistoryReader(f)
+	if err != nil {
+		return fail(err)
+	}
+	name := model
+	if name == "" {
+		name = hr.Model()
+	}
+	if name == "" {
+		return fail(fmt.Errorf("trace %s declares no model; pass one explicitly", path))
+	}
+	m, ok := spec.ByName(name)
+	if !ok {
+		return fail(fmt.Errorf("unknown model %q (supported: %s; see docs/formats.md)", name, spec.ModelNames()))
+	}
+	res.Model = name
+
+	addr := cfg.Addr
+	if addr == "" {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return fail(err)
+		}
+		srv := monitorserver.Serve(ln, monitorserver.Options{
+			Workers:    2,
+			GaugeEvery: -1,
+			Logf:       func(string, ...any) {},
+		})
+		defer srv.Close()
+		addr = ln.Addr().String()
+	}
+	tenant, object := cfg.Tenant, cfg.Object
+	if tenant == "" {
+		tenant = "replay"
+	}
+	if object == "" {
+		object = path
+	}
+	sess, err := monitorclient.Dial(addr, tenant, object, name,
+		monitorclient.WithConfig(cfg.Monitor))
+	if err != nil {
+		return fail(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			sess.Close()
+		}
+	}()
+	local := check.NewIncremental(m, check.WithConfig(cfg.Monitor))
+
+	var (
+		batch    = make(history.History, 0, cfg.Batch)
+		batchAt  int64 // first event's timestamp in the staged batch
+		origin   int64
+		haveOrig bool
+		lastAt   int64
+		start    = time.Now()
+	)
+	send := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if cfg.Speed > 0 && haveOrig {
+			due := time.Duration(float64(batchAt-origin) / cfg.Speed)
+			if wait := due - time.Since(start); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		if err := sess.Send(batch); err != nil {
+			return err
+		}
+		local.Append(batch)
+		res.Batches++
+		batch = batch[:0]
+		return nil
+	}
+	for {
+		e, at, err := hr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fail(err)
+		}
+		if at != 0 && !haveOrig {
+			origin, haveOrig = at, true
+		}
+		if at != 0 {
+			lastAt = at
+		}
+		if len(batch) == 0 {
+			batchAt = at
+		}
+		batch = append(batch, e)
+		if len(batch) == cfg.Batch {
+			if err := send(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := send(); err != nil {
+		return fail(err)
+	}
+	streamed, err := sess.Close()
+	closed = true
+	if err != nil {
+		return fail(err)
+	}
+	res.Events = hr.Events()
+	res.Streamed = streamed
+	res.Local = local.Verdict()
+	res.WallNs = time.Since(start).Nanoseconds()
+	if haveOrig && lastAt > origin {
+		res.TraceNs = lastAt - origin
+	}
+	applied := 0
+	if st := sess.Stats(); st != nil {
+		applied = st.Check.Events
+	}
+	res.Match = res.Streamed == res.Local && applied == res.Events
+	if !res.Match && res.Err == "" {
+		res.Err = fmt.Sprintf("replay diverged: streamed=%v local=%v applied=%d/%d",
+			res.Streamed, res.Local, applied, res.Events)
+	}
+	return res
+}

@@ -1,0 +1,78 @@
+package soak
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/check"
+)
+
+// corpusTraces pins the expected verdict of every envelope in
+// testdata/traces; TestReplayCorpus replays each through an in-process
+// linmond and cross-checks against a local monitor.
+var corpusTraces = []struct {
+	file    string
+	verdict check.Verdict
+}{
+	{"etcd-register.json", check.No},
+	{"redis-queue.json", check.Yes},
+	{"zk-set.json", check.Yes},
+}
+
+func tracePath(t *testing.T, file string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", "traces", file)
+}
+
+func TestReplayCorpus(t *testing.T) {
+	for _, tc := range corpusTraces {
+		t.Run(tc.file, func(t *testing.T) {
+			res := RunReplay(tracePath(t, tc.file), "", ReplayConfig{Batch: 8})
+			if !res.Ok() {
+				t.Fatalf("replay failed: %+v", res)
+			}
+			if res.Streamed != tc.verdict {
+				t.Fatalf("verdict %v, want %v (result %+v)", res.Streamed, tc.verdict, res)
+			}
+			if res.Events == 0 || res.Batches == 0 {
+				t.Fatalf("replay streamed nothing: %+v", res)
+			}
+		})
+	}
+}
+
+// TestReplayPaced replays at 2000x the recorded pace: the ~108ms etcd trace
+// compresses to ~54us of schedule, enough to prove the pacing path runs
+// without slowing the suite, and the wall clock must at least not finish
+// before the compressed schedule says it can.
+func TestReplayPaced(t *testing.T) {
+	res := RunReplay(tracePath(t, "etcd-register.json"), "", ReplayConfig{Speed: 2000, Batch: 4})
+	if !res.Ok() {
+		t.Fatalf("replay failed: %+v", res)
+	}
+	if res.TraceNs == 0 {
+		t.Fatal("etcd trace carries timestamps; TraceNs must be recorded")
+	}
+	// The last batch's first event sits before the end of the trace, so the
+	// strict bound is the schedule up to that point; half the span is a safe
+	// floor that still proves sleeping happened.
+	if min := res.TraceNs / 2000 / 2; res.WallNs < min {
+		t.Fatalf("replay finished in %dns, faster than the compressed schedule floor %dns", res.WallNs, min)
+	}
+}
+
+// TestReplayModelOverride verifies the explicit model wins over the
+// envelope's and an unknown model fails loudly.
+func TestReplayModelOverride(t *testing.T) {
+	res := RunReplay(tracePath(t, "zk-set.json"), "nosuch", ReplayConfig{})
+	if res.Err == "" || res.Ok() {
+		t.Fatalf("unknown model must fail, got %+v", res)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	res := RunReplay(tracePath(t, "no-such-trace.json"), "", ReplayConfig{})
+	if res.Err == "" {
+		t.Fatal("missing file must fail")
+	}
+}

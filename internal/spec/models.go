@@ -179,6 +179,10 @@ func (c consensusState) Fingerprint() uint64 {
 
 func (c consensusState) EqualState(o State) bool { t, ok := o.(consensusState); return ok && t == c }
 
+// ModelNames lists the names ByName accepts, for command-line and converter
+// error messages; keep it in sync with ByName's switch.
+func ModelNames() string { return "queue, stack, set, pqueue, counter, register, consensus" }
+
 // ByName returns the model with the given Name, or ok=false. It is used by
 // command-line tools to select a model.
 func ByName(name string) (Model, bool) {

@@ -1,0 +1,206 @@
+package traceconv
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/history"
+)
+
+// clientLogRecord is one operation as a client-side wrapper logs it: the
+// client measured when the call started and when it returned, so one record
+// expands into an invocation event at start and (if end is present) a
+// response event at end.
+type clientLogRecord struct {
+	Start  int64  `json:"start"`         // ns since trace origin, required
+	End    *int64 `json:"end"`           // ns; absent/null/empty = op never returned (pending)
+	Client int    `json:"client"`        // 1-based client id, required
+	Op     string `json:"op"`            // model method name, e.g. "Enq"
+	Arg    *int64 `json:"arg,omitempty"` // argument, absent when the op takes none
+	Res    string `json:"res,omitempty"` // response ("ok", "empty", "true", "false", or an integer)
+}
+
+// clientLogColumns are the required CSV header columns, in any order.
+var clientLogColumns = []string{"start", "end", "client", "op", "arg", "res"}
+
+// FromClientLog converts a client-side operation log into interchange events
+// for the given model. Two encodings of the same record shape are accepted,
+// distinguished by the first non-blank byte: '{' selects JSON lines, anything
+// else CSV with a header row naming the columns start, end, client, op, arg,
+// res (in any order; see docs/formats.md for the worked example).
+//
+// Each record is one operation with client-measured start/end timestamps. It
+// expands to an invocation at start and, when end is present, a response at
+// end; a record with no end is an operation that never returned and stays
+// pending. Events are ordered by timestamp with responses before invocations
+// on ties — the conservative reading of a coarse clock, and the reading that
+// keeps back-to-back calls on one client sequential. The op/arg/res columns
+// use the interchange spelling directly (docs/formats.md response grammar);
+// the converter validates the result against the model by round-tripping the
+// assembled history through the §2 well-formedness checks.
+func FromClientLog(r io.Reader, model string) (Converted, error) {
+	if _, err := knownModel(model); err != nil {
+		return Converted{}, err
+	}
+	br := bufio.NewReader(r)
+	first, err := firstNonBlank(br)
+	if err != nil {
+		return Converted{}, fmt.Errorf("reading client log: %w", err)
+	}
+	var recs []clientLogRecord
+	if first == '{' {
+		recs, err = clientLogJSONL(br)
+	} else {
+		recs, err = clientLogCSV(br)
+	}
+	if err != nil {
+		return Converted{}, err
+	}
+
+	var evs []timed
+	var nextID uint64
+	seq := 0
+	for i, rec := range recs {
+		if rec.Client < 1 {
+			return Converted{}, fmt.Errorf("client log record %d: client must be >= 1, got %d", i+1, rec.Client)
+		}
+		if rec.Op == "" {
+			return Converted{}, fmt.Errorf("client log record %d: missing op", i+1)
+		}
+		if rec.End != nil && *rec.End < rec.Start {
+			return Converted{}, fmt.Errorf("client log record %d: end %d precedes start %d", i+1, *rec.End, rec.Start)
+		}
+		nextID++
+		inv := history.WireEvent{Kind: "inv", Proc: rec.Client, ID: nextID, Op: rec.Op, At: rec.Start}
+		if rec.Arg != nil {
+			inv.Arg = *rec.Arg
+		}
+		evs = append(evs, timed{ev: inv, at: rec.Start, isRet: 1, seq: seq})
+		seq++
+		if rec.End == nil {
+			continue // never returned: pending operation
+		}
+		if rec.Res == "" {
+			return Converted{}, fmt.Errorf("client log record %d: op completed at %d but has no res", i+1, *rec.End)
+		}
+		if _, err := history.ParseResponse(rec.Res); err != nil {
+			return Converted{}, fmt.Errorf("client log record %d: %v", i+1, err)
+		}
+		ret := history.WireEvent{Kind: "ret", Proc: rec.Client, ID: nextID, Op: rec.Op, Arg: inv.Arg, Res: rec.Res, At: *rec.End}
+		evs = append(evs, timed{ev: ret, at: *rec.End, isRet: 0, seq: seq})
+		seq++
+	}
+
+	out := Converted{Model: model, Events: orderEvents(evs)}
+	if _, err := out.History(); err != nil {
+		return Converted{}, fmt.Errorf("converted client log is ill-formed (overlapping calls on one client, or a response the model cannot parse): %w", err)
+	}
+	return out, nil
+}
+
+// firstNonBlank peeks past leading whitespace without consuming anything.
+func firstNonBlank(br *bufio.Reader) (byte, error) {
+	for n := 1; ; n++ {
+		buf, err := br.Peek(n)
+		if err != nil {
+			return 0, err
+		}
+		c := buf[n-1]
+		if c != ' ' && c != '\t' && c != '\r' && c != '\n' {
+			return c, nil
+		}
+	}
+}
+
+// clientLogJSONL decodes one record per line, tolerating blank lines and
+// '#' comments.
+func clientLogJSONL(r io.Reader) ([]clientLogRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var recs []clientLogRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		var rec clientLogRecord
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return nil, fmt.Errorf("client log line %d: %w", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("reading client log: %w", err)
+	}
+	return recs, nil
+}
+
+// clientLogCSV decodes the CSV encoding: a header row naming the columns,
+// then one record per row. Empty end/res/arg cells mean absent.
+func clientLogCSV(r io.Reader) ([]clientLogRecord, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("client log CSV: reading header: %w", err)
+	}
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		col[strings.TrimSpace(strings.ToLower(name))] = i
+	}
+	for _, want := range []string{"start", "client", "op"} {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("client log CSV: header lacks required column %q (columns: %s)", want, strings.Join(clientLogColumns, ", "))
+		}
+	}
+	cell := func(row []string, name string) string {
+		i, ok := col[name]
+		if !ok || i >= len(row) {
+			return ""
+		}
+		return strings.TrimSpace(row[i])
+	}
+	var recs []clientLogRecord
+	rowNum := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return recs, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("client log CSV: %w", err)
+		}
+		rowNum++
+		var rec clientLogRecord
+		if rec.Start, err = strconv.ParseInt(cell(row, "start"), 10, 64); err != nil {
+			return nil, fmt.Errorf("client log CSV row %d: start: %w", rowNum, err)
+		}
+		if s := cell(row, "end"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("client log CSV row %d: end: %w", rowNum, err)
+			}
+			rec.End = &v
+		}
+		if rec.Client, err = strconv.Atoi(cell(row, "client")); err != nil {
+			return nil, fmt.Errorf("client log CSV row %d: client: %w", rowNum, err)
+		}
+		rec.Op = cell(row, "op")
+		if s := cell(row, "arg"); s != "" {
+			v, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("client log CSV row %d: arg: %w", rowNum, err)
+			}
+			rec.Arg = &v
+		}
+		rec.Res = cell(row, "res")
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,86 @@
+package traceconv
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/monitorapi"
+)
+
+// TestCorpusConversionsCurrent re-runs each committed source trace through its
+// adapter and compares the result against the committed interchange envelope,
+// field for field (including the advisory "at" timestamps). This is the
+// staleness guard promised by testdata/traces/README.md: editing a source
+// trace without regenerating its .json — or changing an adapter in a way that
+// alters its output — fails here, not in a downstream consumer.
+func TestCorpusConversionsCurrent(t *testing.T) {
+	cases := []struct {
+		source  string
+		model   string
+		convert func(path string) (Converted, error)
+		golden  string
+	}{
+		{
+			source: "etcd-register.jepsen.jsonl",
+			model:  "register",
+			convert: func(path string) (Converted, error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return Converted{}, err
+				}
+				defer f.Close()
+				return FromJepsen(f, "register")
+			},
+			golden: "etcd-register.json",
+		},
+		{
+			source: "redis-queue.clientlog.csv",
+			model:  "queue",
+			convert: func(path string) (Converted, error) {
+				f, err := os.Open(path)
+				if err != nil {
+					return Converted{}, err
+				}
+				defer f.Close()
+				return FromClientLog(f, "queue")
+			},
+			golden: "redis-queue.json",
+		},
+	}
+	dir := "../../testdata/traces"
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			conv, err := tc.convert(filepath.Join(dir, tc.source))
+			if err != nil {
+				t.Fatalf("converting %s: %v", tc.source, err)
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, tc.golden))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var env monitorapi.HistoryEnvelope
+			if err := json.Unmarshal(raw, &env); err != nil {
+				t.Fatalf("parsing committed %s: %v", tc.golden, err)
+			}
+			if env.Version != monitorapi.HistoryFormatVersion {
+				t.Fatalf("%s: version = %d, want %d", tc.golden, env.Version, monitorapi.HistoryFormatVersion)
+			}
+			if env.Model != conv.Model || conv.Model != tc.model {
+				t.Fatalf("model mismatch: committed %q, converted %q, want %q", env.Model, conv.Model, tc.model)
+			}
+			if !reflect.DeepEqual(env.Events, conv.Events) {
+				t.Fatalf("%s is stale: committed envelope differs from a fresh conversion of %s\n(regenerate with: go run ./cmd/traceconv -from ... -model %s -o testdata/traces/%s testdata/traces/%s)",
+					tc.golden, tc.source, tc.model, tc.golden, tc.source)
+			}
+			// The conversion must also survive the interchange round trip:
+			// what traceconv writes, the streaming reader reads back intact.
+			if _, err := history.FromWire(conv.Events); err != nil {
+				t.Fatalf("converted events do not round-trip: %v", err)
+			}
+		})
+	}
+}

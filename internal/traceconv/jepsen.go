@@ -1,0 +1,235 @@
+package traceconv
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// jepsenRecord is one exported Jepsen operation record. Jepsen histories are
+// EDN; every published analysis ships them (or is trivially exported) as
+// JSON lines in exactly this shape. Unknown fields are ignored.
+type jepsenRecord struct {
+	Process json.RawMessage `json:"process"` // int worker id, or a string like "nemesis"
+	Type    string          `json:"type"`    // invoke | ok | fail | info
+	F       string          `json:"f"`       // operation name, e.g. "enqueue"
+	Value   json.RawMessage `json:"value"`   // argument or result; parsed lazily — nemesis records carry strings
+	Time    int64           `json:"time"`    // nanoseconds since test start; 0 when absent
+	Index   *int64          `json:"index"`   // global record index; used in errors when present
+}
+
+// intValue decodes a worker record's value: nil for absent/null, the integer
+// otherwise. Only worker records reach it — nemesis values (strings, maps)
+// never parse and never need to.
+func intValue(raw json.RawMessage) (*int64, error) {
+	s := strings.TrimSpace(string(raw))
+	if s == "" || s == "null" {
+		return nil, nil
+	}
+	var v int64
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return nil, fmt.Errorf("value %s is not an integer", s)
+	}
+	return &v, nil
+}
+
+// jepsenOp maps one Jepsen :f name onto a model method: the invocation
+// method, whether the invocation carries Value as its argument, and how an
+// :ok record's Value becomes the wire response.
+type jepsenOp struct {
+	method   string
+	argOnInv bool
+	res      func(v *int64) (string, error)
+}
+
+// resOK acknowledges with "ok" regardless of Value (producers like enqueue).
+func resOK(*int64) (string, error) { return "ok", nil }
+
+// resValue requires an integer result; null maps to "empty" when emptyOK
+// (a dequeue/pop on an empty structure), and errors otherwise.
+func resValue(emptyOK bool) func(*int64) (string, error) {
+	return func(v *int64) (string, error) {
+		if v == nil {
+			if emptyOK {
+				return "empty", nil
+			}
+			return "", fmt.Errorf("ok record carries no value")
+		}
+		return fmt.Sprintf("%d", *v), nil
+	}
+}
+
+// resBool maps Jepsen's boolean results (0/1 after JSON export, or absent
+// meaning true — Jepsen set adds report :value as the element, not the
+// outcome, so null means the op succeeded).
+func resBool(v *int64) (string, error) {
+	if v == nil || *v != 0 {
+		return "true", nil
+	}
+	return "false", nil
+}
+
+// jepsenMappings is the normative :f table of docs/formats.md, per model.
+var jepsenMappings = map[string]map[string]jepsenOp{
+	"queue": {
+		"enqueue": {method: spec.MethodEnq, argOnInv: true, res: resOK},
+		"dequeue": {method: spec.MethodDeq, res: resValue(true)},
+	},
+	"stack": {
+		"push": {method: spec.MethodPush, argOnInv: true, res: resOK},
+		"pop":  {method: spec.MethodPop, res: resValue(true)},
+	},
+	"set": {
+		"add":      {method: spec.MethodAdd, argOnInv: true, res: resBool},
+		"remove":   {method: spec.MethodRemove, argOnInv: true, res: resBool},
+		"contains": {method: spec.MethodContains, argOnInv: true, res: resBool},
+	},
+	"pqueue": {
+		"insert":      {method: spec.MethodInsert, argOnInv: true, res: resOK},
+		"extract-min": {method: spec.MethodMin, res: resValue(true)},
+	},
+	"register": {
+		"write": {method: spec.MethodWrite, argOnInv: true, res: resOK},
+		"read":  {method: spec.MethodRead, res: resValue(false)},
+	},
+	"counter": {
+		"inc":  {method: spec.MethodInc, res: resOK},
+		"read": {method: spec.MethodRead, res: resValue(false)},
+	},
+}
+
+// FromJepsen converts a Jepsen-style operation log — one JSON record per
+// line, in record order — into interchange events for the given model, per
+// the mapping tables in docs/formats.md:
+//
+//   - type "invoke" opens an operation, "ok" completes it;
+//   - type "fail" means the operation certainly did not take effect: both
+//     its events are dropped;
+//   - type "info" means the outcome is unknown (the client crashed or timed
+//     out): the invocation stays pending, which is exactly what a pending
+//     operation means to the checker;
+//   - records whose process is not a worker integer (e.g. "nemesis") are
+//     skipped — fault injections are environment, not history.
+//
+// Record order is trusted as real-time order (Jepsen logs are serialised by
+// a single logging thread); :time (nanoseconds) is carried into
+// WireEvent.At when present.
+func FromJepsen(r io.Reader, model string) (Converted, error) {
+	if _, err := knownModel(model); err != nil {
+		return Converted{}, err
+	}
+	mapping, ok := jepsenMappings[model]
+	if !ok {
+		return Converted{}, fmt.Errorf("no jepsen mapping for model %q (mapped: queue, stack, set, pqueue, register, counter; see docs/formats.md)", model)
+	}
+
+	type open struct {
+		idx int // index into evs of the inv event
+		op  jepsenOp
+		id  uint64
+	}
+	var evs []history.WireEvent
+	pending := make(map[int]open) // jepsen process -> open op
+	var nextID uint64
+	dropped := make(map[int]bool) // evs indexes of :fail invocations to drop
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		var rec jepsenRecord
+		if err := json.Unmarshal([]byte(raw), &rec); err != nil {
+			return Converted{}, fmt.Errorf("jepsen line %d: %w", line, err)
+		}
+		where := fmt.Sprintf("jepsen line %d", line)
+		if rec.Index != nil {
+			where = fmt.Sprintf("jepsen record %d (line %d)", *rec.Index, line)
+		}
+		var proc int
+		if err := json.Unmarshal(rec.Process, &proc); err != nil || proc < 0 {
+			// Non-worker processes (":nemesis") narrate the environment; they
+			// invoke nothing on the object under test.
+			continue
+		}
+		val, err := intValue(rec.Value)
+		if err != nil {
+			return Converted{}, fmt.Errorf("%s: %v", where, err)
+		}
+		switch rec.Type {
+		case "invoke":
+			if prev, busy := pending[proc]; busy {
+				return Converted{}, fmt.Errorf("%s: process %d invokes %q while op %d is open", where, proc, rec.F, prev.id)
+			}
+			op, ok := mapping[rec.F]
+			if !ok {
+				return Converted{}, fmt.Errorf("%s: no mapping for f=%q on model %q (see docs/formats.md)", where, rec.F, model)
+			}
+			ev := history.WireEvent{Kind: "inv", Proc: proc + 1, Op: op.method, At: rec.Time}
+			if op.argOnInv {
+				if val == nil {
+					return Converted{}, fmt.Errorf("%s: f=%q invocation carries no value", where, rec.F)
+				}
+				ev.Arg = *val
+			}
+			nextID++
+			ev.ID = nextID
+			pending[proc] = open{idx: len(evs), op: op, id: nextID}
+			evs = append(evs, ev)
+		case "ok":
+			o, busy := pending[proc]
+			if !busy {
+				return Converted{}, fmt.Errorf("%s: process %d completes %q with no open invocation", where, proc, rec.F)
+			}
+			res, err := o.op.res(val)
+			if err != nil {
+				return Converted{}, fmt.Errorf("%s: f=%q: %w", where, rec.F, err)
+			}
+			delete(pending, proc)
+			evs = append(evs, history.WireEvent{
+				Kind: "ret", Proc: proc + 1, ID: o.id,
+				Op: evs[o.idx].Op, Arg: evs[o.idx].Arg, Res: res, At: rec.Time,
+			})
+		case "fail":
+			o, busy := pending[proc]
+			if !busy {
+				return Converted{}, fmt.Errorf("%s: process %d fails %q with no open invocation", where, proc, rec.F)
+			}
+			dropped[o.idx] = true
+			delete(pending, proc)
+		case "info":
+			// Outcome unknown: the invocation stays pending in the converted
+			// history. Note a later re-invocation by the same process (Jepsen
+			// frees the worker after :info) makes the history ill-formed —
+			// two open ops on one process — and the final self-check rejects
+			// it; split such logs at the crash, or filter the crashed ops.
+			delete(pending, proc)
+		default:
+			return Converted{}, fmt.Errorf("%s: unknown record type %q", where, rec.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Converted{}, fmt.Errorf("reading jepsen log: %w", err)
+	}
+
+	out := Converted{Model: model, Events: make([]history.WireEvent, 0, len(evs))}
+	for i, ev := range evs {
+		if dropped[i] {
+			continue
+		}
+		out.Events = append(out.Events, ev)
+	}
+	if _, err := out.History(); err != nil {
+		return Converted{}, fmt.Errorf("converted jepsen history is ill-formed: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,94 @@
+// Package traceconv converts recorded histories from the trace formats real
+// systems actually produce into the v1 history-interchange envelope
+// (internal/monitorapi, docs/formats.md). Two source shapes are supported:
+//
+//   - Jepsen-style operation records (FromJepsen): one JSON object per line
+//     with {process, type, f, value, index, time}, the shape Jepsen tests
+//     emit when their EDN histories are exported as JSON.
+//   - Client logs (FromClientLog): one record per operation with start/end
+//     timestamps, as CSV (header-addressed columns) or JSON lines — the
+//     shape a client-side wrapper around etcd/Redis calls writes.
+//
+// Both converters emit history.WireEvent slices whose order is the
+// real-time order the monitor trusts, with WireEvent.At carrying the source
+// timestamps for replay-at-speed. The normative field-by-field mapping
+// tables live in docs/formats.md; this package is their implementation, and
+// the doctests at the repository root hold the two in lockstep.
+//
+// Converters are deliberately strict: a record they cannot map loudly fails
+// the conversion rather than silently dropping an operation — a monitor fed
+// a silently thinned history can claim linearizability the real run never
+// had.
+package traceconv
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/spec"
+)
+
+// Converted is the result of a conversion: the envelope-ready events and the
+// model they were mapped against.
+type Converted struct {
+	Model  string
+	Events []history.WireEvent
+}
+
+// History decodes the converted events back into a validated history — the
+// self-check every converter runs before returning, so a conversion bug
+// surfaces at conversion time, not at verification time.
+func (c Converted) History() (history.History, error) {
+	h, err := history.FromWire(c.Events)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// timed pairs an event with its sort keys during expansion: source
+// timestamp, then returns-before-invocations on ties, then record order for
+// stability.
+type timed struct {
+	ev    history.WireEvent
+	at    int64
+	isRet int // 0 for ret, 1 for inv: at equal timestamps responses sort first
+	seq   int
+}
+
+// orderEvents sorts expanded events into the real-time order the envelope
+// declares. Equal timestamps order responses before invocations: within one
+// client that keeps back-to-back operations sequential (end(n) == start(n+1)
+// must not read as overlap, which would be ill-formed), and across clients
+// it is the conservative reading of a coarse clock — see the tie-break note
+// in docs/formats.md.
+func orderEvents(evs []timed) []history.WireEvent {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		if evs[i].isRet != evs[j].isRet {
+			return evs[i].isRet < evs[j].isRet
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	out := make([]history.WireEvent, len(evs))
+	for i, e := range evs {
+		out[i] = e.ev
+	}
+	return out
+}
+
+// knownModel validates the model name against the registry, so conversion
+// errors name the supported set the same way cmd/linverify does.
+func knownModel(model string) (spec.Model, error) {
+	m, ok := spec.ByName(model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model %q (supported: %s; see docs/formats.md)", model, spec.ModelNames())
+	}
+	return m, nil
+}

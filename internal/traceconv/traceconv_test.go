@@ -1,0 +1,184 @@
+package traceconv
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/spec"
+)
+
+// jepsenQueueLog is a small well-behaved queue run in the exported Jepsen
+// shape: two workers, a nemesis record to skip, a :fail to drop, an :info to
+// leave pending.
+const jepsenQueueLog = `
+{"index":0,"time":1000,"process":0,"type":"invoke","f":"enqueue","value":1}
+{"index":1,"time":1500,"process":1,"type":"invoke","f":"dequeue","value":null}
+{"index":2,"time":2000,"process":0,"type":"ok","f":"enqueue","value":1}
+{"index":3,"time":2200,"process":"nemesis","type":"info","f":"start","value":null}
+{"index":4,"time":2500,"process":1,"type":"ok","f":"dequeue","value":1}
+{"index":5,"time":3000,"process":0,"type":"invoke","f":"enqueue","value":2}
+{"index":6,"time":3500,"process":0,"type":"fail","f":"enqueue","value":2}
+{"index":7,"time":4000,"process":1,"type":"invoke","f":"dequeue","value":null}
+{"index":8,"time":4500,"process":1,"type":"info","f":"dequeue","value":null}
+`
+
+func TestFromJepsenQueue(t *testing.T) {
+	conv, err := FromJepsen(strings.NewReader(jepsenQueueLog), "queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// enqueue(1) inv+ret, dequeue->1 inv+ret, pending dequeue inv; the failed
+	// enqueue(2) and the nemesis record leave no events.
+	if len(conv.Events) != 5 {
+		t.Fatalf("got %d events, want 5: %+v", len(conv.Events), conv.Events)
+	}
+	for _, ev := range conv.Events {
+		if ev.Op == spec.MethodEnq && ev.Arg == 2 {
+			t.Fatalf("failed enqueue(2) leaked into the history: %+v", ev)
+		}
+		if ev.At == 0 {
+			t.Fatalf("event lost its source timestamp: %+v", ev)
+		}
+	}
+	h, err := conv.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Linearizable(spec.Queue(), h); !res.Ok {
+		t.Fatal("converted jepsen queue history should be linearizable")
+	}
+}
+
+func TestFromJepsenRegisterViolation(t *testing.T) {
+	// A stale read: write(1) completes, then write(2) completes, then a read
+	// strictly after both returns 1.
+	log := `
+{"time":1,"process":0,"type":"invoke","f":"write","value":1}
+{"time":2,"process":0,"type":"ok","f":"write","value":1}
+{"time":3,"process":0,"type":"invoke","f":"write","value":2}
+{"time":4,"process":0,"type":"ok","f":"write","value":2}
+{"time":5,"process":1,"type":"invoke","f":"read","value":null}
+{"time":6,"process":1,"type":"ok","f":"read","value":1}
+`
+	conv, err := FromJepsen(strings.NewReader(log), "register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := conv.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Linearizable(spec.Register(0), h); res.Ok {
+		t.Fatal("stale read must not be linearizable")
+	}
+}
+
+func TestFromJepsenStrictErrors(t *testing.T) {
+	cases := []struct {
+		name, log, model, want string
+	}{
+		{"unknown f", `{"process":0,"type":"invoke","f":"cas","value":1}`, "register", "no mapping for f=\"cas\""},
+		{"unknown model", `{"process":0,"type":"invoke","f":"enqueue","value":1}`, "nosuch", "unknown model"},
+		{"unmapped model", `{"process":0,"type":"invoke","f":"decide","value":1}`, "consensus", "no jepsen mapping"},
+		{"ok without invoke", `{"process":0,"type":"ok","f":"enqueue","value":1}`, "queue", "no open invocation"},
+		{"double invoke", "{\"process\":0,\"type\":\"invoke\",\"f\":\"enqueue\",\"value\":1}\n{\"process\":0,\"type\":\"invoke\",\"f\":\"enqueue\",\"value\":2}", "queue", "while op"},
+		{"missing value", `{"process":0,"type":"invoke","f":"enqueue","value":null}`, "queue", "carries no value"},
+		{"unknown type", `{"process":0,"type":"wat","f":"enqueue","value":1}`, "queue", "unknown record type"},
+		{"bad json", `{nope`, "queue", "jepsen line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromJepsen(strings.NewReader(tc.log), tc.model)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+const clientLogCSVSample = `start,end,client,op,arg,res
+1000,2000,1,Enq,5,ok
+1500,2500,2,Deq,,5
+3000,,1,Enq,6,
+2500,3500,2,Deq,,empty
+`
+
+func TestFromClientLogCSV(t *testing.T) {
+	conv, err := FromClientLog(strings.NewReader(clientLogCSVSample), "queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 completed ops (2 events each) + 1 pending (1 event).
+	if len(conv.Events) != 7 {
+		t.Fatalf("got %d events, want 7: %+v", len(conv.Events), conv.Events)
+	}
+	// Events must come out in timestamp order, responses first on ties: the
+	// Deq response at 2500 precedes the Deq invocation at 2500.
+	for i := 1; i < len(conv.Events); i++ {
+		if conv.Events[i].At < conv.Events[i-1].At {
+			t.Fatalf("events out of timestamp order at %d: %+v", i, conv.Events)
+		}
+	}
+	h, err := conv.History()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := check.Linearizable(spec.Queue(), h); !res.Ok {
+		t.Fatal("converted client log should be linearizable")
+	}
+}
+
+func TestFromClientLogJSONL(t *testing.T) {
+	log := `
+{"start":1000,"end":2000,"client":1,"op":"Write","arg":7,"res":"ok"}
+{"start":2500,"end":3000,"client":2,"op":"Read","res":"7"}
+{"start":3500,"client":1,"op":"Write","arg":9}
+`
+	conv, err := FromClientLog(strings.NewReader(log), "register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conv.Events) != 5 {
+		t.Fatalf("got %d events, want 5: %+v", len(conv.Events), conv.Events)
+	}
+}
+
+// TestClientLogTieBreak pins the coarse-clock rule: at equal timestamps the
+// response sorts before the invocation, so end(n)==start(n+1) on one client
+// stays sequential rather than decoding as an overlap.
+func TestClientLogTieBreak(t *testing.T) {
+	log := `start,end,client,op,arg,res
+1000,2000,1,Enq,5,ok
+2000,3000,1,Deq,,5
+`
+	conv, err := FromClientLog(strings.NewReader(log), "queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := conv.Events[1].Kind; got != "ret" {
+		t.Fatalf("at the shared timestamp the ret must sort first, got %q", got)
+	}
+}
+
+func TestFromClientLogStrictErrors(t *testing.T) {
+	cases := []struct {
+		name, log, want string
+	}{
+		{"missing column", "start,client\n1,1", "lacks required column"},
+		{"end before start", "start,end,client,op,arg,res\n2000,1000,1,Enq,5,ok", "precedes start"},
+		{"completed without res", "start,end,client,op,arg,res\n1000,2000,1,Enq,5,", "has no res"},
+		{"bad res", "start,end,client,op,arg,res\n1000,2000,1,Enq,5,maybe", "record 1"},
+		{"zero client", "start,end,client,op,arg,res\n1000,2000,0,Enq,5,ok", "client must be >= 1"},
+		{"overlap on one client", "start,end,client,op,arg,res\n1000,3000,1,Enq,5,ok\n2000,4000,1,Enq,6,ok", "ill-formed"},
+		{"bad jsonl", "{nope}", "client log line 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := FromClientLog(strings.NewReader(tc.log), "queue")
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
